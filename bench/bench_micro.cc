@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) backing Section 2.2's latency and
+ * complexity argument: every JETTY probe is a handful of small-array
+ * reads, far simpler than an L2 tag probe. We measure software probe and
+ * update throughput of each filter structure and of the simulated L2 tag
+ * path, plus whole-system simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/filter_spec.hh"
+#include "experiments/experiments.hh"
+#include "mem/l2_cache.hh"
+#include "trace/apps.hh"
+#include "util/random.hh"
+
+using namespace jetty;
+
+namespace
+{
+
+filter::AddressMap
+amap()
+{
+    experiments::SystemVariant variant;
+    return variant.smpConfig().addressMap();
+}
+
+void
+BM_FilterProbe(benchmark::State &state, const std::string &spec)
+{
+    auto f = filter::makeFilter(spec, amap());
+    Rng rng(1);
+    // Populate with a realistic load: 16K fills scattered over 128 MB.
+    for (int i = 0; i < 16384; ++i)
+        f->onFill((rng.below(1 << 22)) << 5);
+    Addr a = 0;
+    for (auto _ : state) {
+        a = (a + 0x9e3779b9) & ((1ull << 27) - 1);
+        benchmark::DoNotOptimize(f->probe(a & ~31ull));
+    }
+}
+
+void
+BM_FilterUpdate(benchmark::State &state, const std::string &spec)
+{
+    auto f = filter::makeFilter(spec, amap());
+    Rng rng(2);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back((rng.below(1 << 22)) << 5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        f->onFill(addrs[i & 4095]);
+        f->onEvict(addrs[i & 4095]);
+        ++i;
+    }
+}
+
+void
+BM_L2TagProbe(benchmark::State &state)
+{
+    mem::L2Config cfg;
+    mem::L2Cache l2(cfg);
+    Rng rng(3);
+    std::vector<mem::L2Victim> victims;
+    for (int i = 0; i < 16384; ++i)
+        l2.fill((rng.below(1 << 22)) << 5, coherence::State::Shared,
+                victims);
+    Addr a = 0;
+    for (auto _ : state) {
+        a = (a + 0x9e3779b9) & ((1ull << 27) - 1);
+        benchmark::DoNotOptimize(l2.probe(a & ~31ull));
+    }
+}
+
+void
+BM_SimThroughput(benchmark::State &state)
+{
+    // References simulated per second on the base 4-way system with the
+    // full paper filter bank attached.
+    for (auto _ : state) {
+        experiments::SystemVariant variant;
+        auto run = experiments::runApp(trace::appByName("lu"), variant,
+                                       {"HJ(IJ-10x4x7,EJ-32x4)"}, 0.02);
+        benchmark::DoNotOptimize(run.stats.aggregate().accesses);
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(run.stats.aggregate().accesses));
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_FilterProbe, ej32x4, std::string("EJ-32x4"));
+BENCHMARK_CAPTURE(BM_FilterProbe, vej32x4_8, std::string("VEJ-32x4-8"));
+BENCHMARK_CAPTURE(BM_FilterProbe, ij10x4x7, std::string("IJ-10x4x7"));
+BENCHMARK_CAPTURE(BM_FilterProbe, hj, std::string("HJ(IJ-10x4x7,EJ-32x4)"));
+BENCHMARK_CAPTURE(BM_FilterUpdate, ij10x4x7, std::string("IJ-10x4x7"));
+BENCHMARK_CAPTURE(BM_FilterUpdate, hj, std::string("HJ(IJ-10x4x7,EJ-32x4)"));
+BENCHMARK(BM_L2TagProbe);
+BENCHMARK(BM_SimThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

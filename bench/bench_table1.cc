@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Table 1: the peak-power breakdown of a 400 MHz Pentium II
+ * Xeon (published data) with the derived "L2 share of overall power"
+ * columns, plus this library's own estimate of the tag-array share for
+ * the paper's base L2 organization -- the motivation numbers of
+ * Section 2.1.
+ */
+
+#include <cstdio>
+
+#include "energy/cache_energy.hh"
+#include "energy/xeon_power.hh"
+#include "util/table.hh"
+
+using namespace jetty;
+using namespace jetty::energy;
+
+int
+main()
+{
+    TextTable table;
+    table.header({"L2 size", "Core W", "L2 W", "L2 pads W", "L2 %",
+                  "L2 w/o pads %"});
+    for (const auto &row : xeonPowerTable) {
+        table.row({
+            std::to_string(row.l2KBytes / (row.l2KBytes >= 1024 ? 1024 : 1)) +
+                (row.l2KBytes >= 1024 ? "M" : "K"),
+            TextTable::num(row.coreWatts, 1),
+            TextTable::num(row.l2Watts, 1),
+            TextTable::num(row.l2PadWatts, 1),
+            TextTable::pct(100.0 * row.l2FractionWithPads(), 0),
+            TextTable::pct(100.0 * row.l2FractionWithoutPads(), 0),
+        });
+    }
+
+    std::printf("Table 1: Xeon peak power breakdown (source data: "
+                "Microprocessor Report 12(9), via the paper)\n\n");
+    table.print();
+    std::printf("\nPaper values: 14%%/16%%, 23%%/28%%, 34%%/43%%.\n\n");
+
+    // Our energy model's view of the same organization: how the per-access
+    // energy of a 1MB L2 splits between tags and data.
+    for (unsigned block : {32u, 64u}) {
+        CacheGeometry geom;
+        geom.sizeBytes = 1024 * 1024;
+        geom.assoc = 4;
+        geom.blockBytes = block;
+        geom.subblocks = 1;
+        geom.physAddrBits = 36;
+        CacheEnergyModel model(geom);
+        const auto &e = model.energies();
+        const double data_block = e.dataReadUnit;
+        std::printf("1MB 4-way, %uB blocks: tag probe %.1f pJ, block read "
+                    "%.1f pJ (tag/data ratio %.2f; tag banks %u, data "
+                    "banks %u)\n",
+                    block, e.tagRead * 1e12, data_block * 1e12,
+                    e.tagRead / data_block, model.tagBanks(),
+                    model.dataBanks());
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space explorer: run one application (default Ocean; pass a
+ * two-letter app tag or full name as argv[1]) against any set of JETTY
+ * configurations (remaining argv), printing coverage, storage and energy
+ * for each -- the workflow an architect would use to size a filter for a
+ * given workload.
+ *
+ * Usage: filter_explorer [app] [spec...]
+ * e.g.:  filter_explorer un "EJ-64x4" "HJ(IJ-9x4x7,VEJ-32x4-8)"
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/filter_spec.hh"
+#include "experiments/experiments.hh"
+#include "trace/apps.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace jetty;
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "oc";
+    std::vector<std::string> specs;
+    if (argc > 1)
+        app = argv[1];
+    for (int i = 2; i < argc; ++i)
+        specs.push_back(argv[i]);
+    if (specs.empty()) {
+        specs = {"EJ-32x4",   "VEJ-32x4-8",          "IJ-10x4x7",
+                 "IJ-8x4x7",  "HJ(IJ-10x4x7,EJ-32x4)",
+                 "HJ(IJ-8x4x7,EJ-16x2)"};
+    }
+    for (const auto &s : specs) {
+        if (!filter::isValidFilterSpec(s))
+            fatal("bad filter spec: " + s);
+    }
+
+    experiments::SystemVariant variant;
+    const auto run = experiments::runApp(trace::appByName(app), variant,
+                                         specs, 0.5);
+    const auto amap = variant.smpConfig().addressMap();
+
+    TextTable table;
+    table.header({"config", "bytes", "coverage", "snoop-E saved (serial)",
+                  "all-L2-E saved (serial)"});
+    for (const auto &spec : specs) {
+        const auto f = filter::makeFilter(spec, amap);
+        const auto res = experiments::evaluateEnergy(
+            run, variant, spec, energy::AccessMode::Serial);
+        table.row({
+            spec,
+            TextTable::num(f->storage().totalBytes(), 0),
+            TextTable::pct(100.0 * run.statsFor(spec).coverage()),
+            TextTable::pct(res.reductionOverSnoopsPct),
+            TextTable::pct(res.reductionOverAllPct),
+        });
+    }
+
+    std::printf("Filter design space on '%s' (%s)\n\n", app.c_str(),
+                run.appName.c_str());
+    table.print();
+    return 0;
+}

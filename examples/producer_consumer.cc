@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scenario example: producer/consumer sharing, driven access by access
+ * through the low-level SmpSystem API (no workload generator). Shows how
+ * the coherence protocol, the snoop stream and the exclude-JETTY interact
+ * on the paper's canonical sharing pattern (Section 3.1): the two
+ * processors involved in the exchange keep finding each other's copies,
+ * while the two bystanders' JETTYs learn to filter the traffic.
+ */
+
+#include <cstdio>
+
+#include "sim/smp_system.hh"
+
+using namespace jetty;
+using namespace jetty::sim;
+
+int
+main()
+{
+    SmpConfig cfg;  // paper base system
+    cfg.filterSpecs = {"EJ-32x4", "IJ-9x4x7", "HJ(IJ-9x4x7,EJ-32x4)"};
+    SmpSystem sys(cfg);
+
+    // Processor 0 produces a 16KB buffer; processor 1 consumes it; this
+    // repeats for 64 rounds. Processors 2 and 3 run a private scan.
+    constexpr Addr buffer = 0x100000;
+    constexpr Addr scratch2 = 0x800000;
+    constexpr Addr scratch3 = 0xc00000;
+    constexpr unsigned kBufBytes = 16 * 1024;
+
+    for (unsigned round = 0; round < 64; ++round) {
+        for (unsigned off = 0; off < kBufBytes; off += 4) {
+            sys.processorAccess(0, AccessType::Write, buffer + off);
+            sys.processorAccess(1, AccessType::Read, buffer + off);
+            sys.processorAccess(
+                2, AccessType::Read,
+                scratch2 + (round * kBufBytes + off) % (4 << 20));
+            sys.processorAccess(
+                3, AccessType::Write,
+                scratch3 + (round * kBufBytes + off) % (4 << 20));
+        }
+    }
+
+    std::printf("Producer/consumer exchange, 64 rounds of 16KB:\n\n");
+    std::printf("%-5s %-14s %-14s %-12s\n", "proc", "snoop probes",
+                "snoop misses", "role");
+    const char *roles[] = {"producer", "consumer", "bystander",
+                           "bystander"};
+    for (unsigned p = 0; p < 4; ++p) {
+        const auto &ps = sys.stats().procs[p];
+        std::printf("%-5u %-14llu %-14llu %-12s\n", p,
+                    static_cast<unsigned long long>(ps.snoopTagProbes),
+                    static_cast<unsigned long long>(ps.snoopMisses),
+                    roles[p]);
+    }
+
+    std::printf("\nPer-processor JETTY coverage (snoop misses filtered):\n");
+    std::printf("%-5s", "proc");
+    for (std::size_t f = 0; f < sys.bank(0).size(); ++f)
+        std::printf(" %-22s", sys.bank(0).filterAt(f).name().c_str());
+    std::printf("\n");
+    for (unsigned p = 0; p < 4; ++p) {
+        std::printf("%-5u", p);
+        for (std::size_t f = 0; f < sys.bank(p).size(); ++f) {
+            std::printf(" %-22.1f",
+                        100.0 * sys.bank(p).statsAt(f).coverage());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nReading the table: the bystanders (2, 3) never cache "
+                "the buffer, so their\nJETTYs filter nearly all of the "
+                "producer/consumer snoop storm; the exchange\npartners "
+                "themselves hold copies, so their snoops mostly hit and "
+                "cannot be\n(and are not) filtered.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: build the paper's base 4-way SMP, attach a hybrid JETTY,
+ * run one SPLASH-2-style workload, and print coverage plus energy
+ * savings. This is the minimal end-to-end use of the public API.
+ */
+
+#include <cstdio>
+
+#include "experiments/experiments.hh"
+#include "trace/apps.hh"
+
+using namespace jetty;
+
+int
+main()
+{
+    // 1. Pick the base system (4 processors, 64KB L1, 1MB subblocked L2)
+    //    and the paper's best hybrid JETTY configuration.
+    experiments::SystemVariant variant;
+    const std::string jetty_spec = "HJ(IJ-10x4x7,EJ-32x4)";
+
+    // 2. Run the Lu workload (a scaled synthetic stand-in for SPLASH-2
+    //    LU) with the filter observing every snoop.
+    const auto run = experiments::runApp(trace::appByName("lu"), variant,
+                                         {jetty_spec}, /*accessScale=*/0.25);
+
+    // 3. Inspect what happened.
+    const auto agg = run.stats.aggregate();
+    std::printf("Ran %s: %.1fM references on 4 processors\n",
+                run.appName.c_str(), agg.accesses / 1e6);
+    std::printf("  L1 hit rate:        %5.1f%%\n",
+                percent(agg.l1Hits, agg.accesses));
+    std::printf("  L2 local hit rate:  %5.1f%%\n",
+                percent(agg.l2LocalHits, agg.l2LocalAccesses));
+    std::printf("  snoop tag probes:   %llu (%.1f%% of them miss)\n",
+                static_cast<unsigned long long>(agg.snoopTagProbes),
+                percent(agg.snoopMisses, agg.snoopTagProbes));
+
+    const auto &fs = run.statsFor(jetty_spec);
+    std::printf("\n%s:\n", jetty_spec.c_str());
+    std::printf("  snoop-miss coverage: %5.1f%%  (snoops filtered: %llu)\n",
+                100.0 * fs.coverage(),
+                static_cast<unsigned long long>(fs.filtered));
+
+    const auto serial = experiments::evaluateEnergy(
+        run, variant, jetty_spec, energy::AccessMode::Serial);
+    const auto parallel = experiments::evaluateEnergy(
+        run, variant, jetty_spec, energy::AccessMode::Parallel);
+    std::printf("  energy reduction over snoop accesses: %5.1f%% (serial), "
+                "%5.1f%% (parallel)\n",
+                serial.reductionOverSnoopsPct,
+                parallel.reductionOverSnoopsPct);
+    std::printf("  energy reduction over all L2 accesses: %4.1f%% (serial), "
+                "%5.1f%% (parallel)\n",
+                serial.reductionOverAllPct, parallel.reductionOverAllPct);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scenario example: the SMP as a throughput engine (Section 1/2 of the
+ * paper). Each processor runs an independent program, so essentially
+ * every snoop misses in every remote cache -- the best case for JETTY.
+ * Contrasted with the widely-shared worst case, where read-only data is
+ * replicated everywhere and filtering buys little.
+ */
+
+#include <cstdio>
+
+#include "experiments/experiments.hh"
+#include "trace/apps.hh"
+
+using namespace jetty;
+
+namespace
+{
+
+void
+report(const char *label, const experiments::AppRunResult &run,
+       const experiments::SystemVariant &variant, const std::string &spec)
+{
+    const auto agg = run.stats.aggregate();
+    const auto &fs = run.statsFor(spec);
+    const auto serial = experiments::evaluateEnergy(
+        run, variant, spec, energy::AccessMode::Serial);
+
+    std::printf("%-18s snoops miss %5.1f%% of the time; coverage %5.1f%%; "
+                "snoop-energy saved %5.1f%%\n",
+                label, percent(agg.snoopMisses, agg.snoopTagProbes),
+                100.0 * fs.coverage(), serial.reductionOverSnoopsPct);
+}
+
+} // namespace
+
+int
+main()
+{
+    experiments::SystemVariant variant;
+    const std::string spec = "HJ(IJ-9x4x7,EJ-32x4)";
+
+    std::printf("JETTY on a throughput server vs the widely-shared worst "
+                "case\n(4-way SMP, %s, serial L2 arrays)\n\n", spec.c_str());
+
+    const auto ts = experiments::runApp(trace::throughputServer(), variant,
+                                        {spec}, 0.5);
+    report("throughput-server", ts, variant, spec);
+
+    const auto ws = experiments::runApp(trace::widelyShared(), variant,
+                                        {spec}, 0.5);
+    report("widely-shared", ws, variant, spec);
+
+    std::printf("\nIndependent programs never hold each other's data, so "
+                "the filter guards\nnearly every snoop. Widely-shared "
+                "read-only data is the adversarial case the\npaper calls "
+                "out: many snoops find copies, fewer can be filtered, and "
+                "the\nJETTY's own energy eats into the savings.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "coherence/moesi.hh"
+
+#include "util/logging.hh"
+
+namespace jetty::coherence
+{
+
+const char *
+stateName(State s)
+{
+    switch (s) {
+      case State::Invalid: return "I";
+      case State::Shared: return "S";
+      case State::Exclusive: return "E";
+      case State::Owned: return "O";
+      case State::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::BusRead: return "BusRead";
+      case BusOp::BusReadX: return "BusReadX";
+      case BusOp::BusUpgrade: return "BusUpgrade";
+      case BusOp::BusWriteback: return "BusWriteback";
+    }
+    return "?";
+}
+
+SnoopOutcome
+snoopTransition(State current, BusOp op)
+{
+    SnoopOutcome out;
+    out.hadCopy = isValid(current);
+    out.next = current;
+
+    if (!out.hadCopy)
+        return out;
+
+    switch (op) {
+      case BusOp::BusRead:
+        switch (current) {
+          case State::Modified:
+            out.next = State::Owned;
+            out.supplied = true;
+            break;
+          case State::Owned:
+            out.supplied = true;
+            break;
+          case State::Exclusive:
+            out.next = State::Shared;
+            out.supplied = true;
+            break;
+          case State::Shared:
+            // Memory (or the owner) supplies; we just stay shared.
+            break;
+          case State::Invalid:
+            break;
+        }
+        break;
+
+      case BusOp::BusReadX:
+        out.supplied = isDirty(current);
+        out.next = State::Invalid;
+        break;
+
+      case BusOp::BusUpgrade:
+        // The requester already holds data; no supply, just invalidate.
+        out.next = State::Invalid;
+        break;
+
+      case BusOp::BusWriteback:
+        // Memory update only; other caches are unaffected. A valid copy
+        // elsewhere would contradict the writeback of a dirty unit unless
+        // the line was Owned/Shared; we leave state untouched.
+        out.hadCopy = false;
+        break;
+    }
+    return out;
+}
+
+State
+fillState(BusOp op, bool anyRemoteCopy)
+{
+    switch (op) {
+      case BusOp::BusRead:
+        return anyRemoteCopy ? State::Shared : State::Exclusive;
+      case BusOp::BusReadX:
+      case BusOp::BusUpgrade:
+        return State::Modified;
+      case BusOp::BusWriteback:
+        break;
+    }
+    panic("fillState: writeback has no fill state");
+}
+
+} // namespace jetty::coherence

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * MOESI coherence states and the transition tables used by the subblocked
+ * L2. Coherence is maintained at the subblock (coherence-unit) level, as in
+ * the paper's SPARC-like base system.
+ */
+
+#ifndef JETTY_COHERENCE_MOESI_HH
+#define JETTY_COHERENCE_MOESI_HH
+
+#include <cstdint>
+
+namespace jetty::coherence
+{
+
+/** Per-coherence-unit MOESI state. */
+enum class State : std::uint8_t
+{
+    Invalid,
+    Shared,     //!< clean (or memory-consistent) copy, others may share
+    Exclusive,  //!< clean, only copy
+    Owned,      //!< dirty, others may share; this cache responds
+    Modified,   //!< dirty, only copy
+};
+
+/** Printable state name. */
+const char *stateName(State s);
+
+/** True when the unit holds valid data. */
+inline bool
+isValid(State s)
+{
+    return s != State::Invalid;
+}
+
+/** True when the local processor may write without a bus transaction. */
+inline bool
+isWritable(State s)
+{
+    return s == State::Modified || s == State::Exclusive;
+}
+
+/** True when this cache is responsible for supplying data / writing back
+ *  on eviction. */
+inline bool
+isDirty(State s)
+{
+    return s == State::Modified || s == State::Owned;
+}
+
+/** Bus transaction kinds of the write-invalidate protocol. */
+enum class BusOp : std::uint8_t
+{
+    BusRead,      //!< read miss: fetch a shared/exclusive copy
+    BusReadX,     //!< write miss: fetch an exclusive (M) copy
+    BusUpgrade,   //!< write hit on a shared copy: invalidate others
+    BusWriteback, //!< write-back buffer drains a dirty unit to memory
+};
+
+/** Printable bus-op name. */
+const char *busOpName(BusOp op);
+
+/** What a snooping cache does and reports for one snooped unit. */
+struct SnoopOutcome
+{
+    State next = State::Invalid;  //!< state after the snoop
+    bool hadCopy = false;         //!< unit was valid here (snoop "hit")
+    bool supplied = false;        //!< this cache sourced the data
+};
+
+/**
+ * Snooper-side transition: given the current state of the snooped unit and
+ * the bus operation, return the outcome. Rules (write-invalidate MOESI):
+ *  - BusRead:  M -> O (supply), O -> O (supply), E -> S (supply),
+ *              S -> S, I -> I.
+ *  - BusReadX/BusUpgrade: any valid -> I; M/O supply on BusReadX.
+ *  - BusWriteback does not affect other caches.
+ */
+SnoopOutcome snoopTransition(State current, BusOp op);
+
+/**
+ * Requester-side fill state after a bus transaction completes.
+ * @param op           the transaction performed.
+ * @param anyRemoteCopy whether any other cache reported a valid copy.
+ */
+State fillState(BusOp op, bool anyRemoteCopy);
+
+} // namespace jetty::coherence
+
+#endif // JETTY_COHERENCE_MOESI_HH

@@ -1,0 +1,147 @@
+#include "core/exclude_jetty.hh"
+
+#include "energy/sram_array.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::filter
+{
+
+ExcludeJetty::ExcludeJetty(const ExcludeJettyConfig &cfg,
+                           const AddressMap &amap)
+    : cfg_(cfg), amap_(amap)
+{
+    if (!isPowerOfTwo(cfg.sets) || cfg.assoc == 0)
+        fatal("ExcludeJetty: sets must be a power of two, assoc non-zero");
+    setBits_ = floorLog2(cfg.sets);
+    if (amap.physAddrBits <= amap.blockOffsetBits + setBits_)
+        fatal("ExcludeJetty: address space too small");
+    tagBits_ = amap.physAddrBits - amap.blockOffsetBits - setBits_;
+    sets_.assign(cfg.sets, std::vector<Entry>(cfg.assoc));
+}
+
+std::uint64_t
+ExcludeJetty::setIndex(Addr unitAddr) const
+{
+    return bitField(unitAddr, amap_.blockOffsetBits, setBits_);
+}
+
+Addr
+ExcludeJetty::tagOf(Addr unitAddr) const
+{
+    return unitAddr >> (amap_.blockOffsetBits + setBits_);
+}
+
+bool
+ExcludeJetty::probe(Addr unitAddr)
+{
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+    for (auto &e : set) {
+        if (e.present && e.tag == tag) {
+            e.lastUse = ++useClock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
+{
+    // Only a whole-block miss gives the "nothing of this block is cached"
+    // guarantee an entry encodes; a tag-matching subblock miss does not.
+    if (blockPresent)
+        return;
+
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+
+    for (auto &e : set) {
+        if (e.present && e.tag == tag) {
+            e.lastUse = ++useClock_;
+            return;
+        }
+    }
+
+    // Allocate: prefer a not-present way, else LRU.
+    Entry *victim = nullptr;
+    for (auto &e : set) {
+        if (!e.present) {
+            victim = &e;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &set.front();
+        for (auto &e : set) {
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    }
+    victim->tag = tag;
+    victim->present = true;
+    victim->lastUse = ++useClock_;
+}
+
+void
+ExcludeJetty::onFill(Addr unitAddr)
+{
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+    for (auto &e : set) {
+        if (e.present && e.tag == tag) {
+            // Part of the block is now cached: the guarantee is void.
+            e.present = false;
+            return;
+        }
+    }
+}
+
+void
+ExcludeJetty::clear()
+{
+    for (auto &set : sets_)
+        for (auto &e : set)
+            e = Entry{};
+    useClock_ = 0;
+}
+
+StorageBreakdown
+ExcludeJetty::storage() const
+{
+    StorageBreakdown s;
+    s.presenceBits = static_cast<std::uint64_t>(cfg_.sets) * cfg_.assoc *
+                     (tagBits_ + 1);
+    return s;
+}
+
+energy::FilterEnergyCosts
+ExcludeJetty::energyCosts(const energy::Technology &tech) const
+{
+    // The EJ is a tiny tag array: one row per set, all ways side by side.
+    const std::uint64_t cols =
+        static_cast<std::uint64_t>(cfg_.assoc) * (tagBits_ + 1);
+    energy::SramArray array(cfg_.sets, cols, 1, tech);
+    const double comparators =
+        static_cast<double>(cfg_.assoc) * tagBits_ * tech.eComparatorPerBit;
+
+    energy::FilterEnergyCosts costs;
+    // The comparators sit beside the array (register-file scale), so no
+    // long output wires are driven: bitsOut = 0, comparator term added.
+    costs.probe = array.readEnergy(0) + comparators;
+    costs.snoopAlloc = array.writeEnergy(tagBits_ + 1);
+    // A local fill must search the EJ and clear a matching present bit.
+    costs.fillUpdate = costs.probe + array.writeEnergy(1);
+    costs.evictUpdate = 0.0;  // EJ ignores evictions
+    return costs;
+}
+
+std::string
+ExcludeJetty::name() const
+{
+    return "EJ-" + std::to_string(cfg_.sets) + "x" +
+           std::to_string(cfg_.assoc);
+}
+
+} // namespace jetty::filter

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Exclude-JETTY (Section 3.1): a small set-associative array of
+ * (TAG, present-bit) pairs recording recently snooped L2 *blocks* that
+ * were entirely absent from the local L2 and have not been fetched since.
+ * A tag match with the present bit set guarantees the snooped unit's whole
+ * block is absent, filtering the snoop.
+ *
+ * Granularity matters: entries cover one L2 block (64 B in the base
+ * system), not one coherence unit. This is what lets subblocking feed the
+ * EJ -- a miss on one subblock allocates an entry that then filters the
+ * (extremely likely) follow-up snoop to the sibling subblock, the effect
+ * the paper identifies as the primary source of snoop locality. For
+ * safety an entry is only allocated when the snooping tag probe saw no
+ * matching tag at all (whole block absent), and it is cleared the moment
+ * a local miss fills any unit of the block.
+ */
+
+#ifndef JETTY_CORE_EXCLUDE_JETTY_HH
+#define JETTY_CORE_EXCLUDE_JETTY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snoop_filter.hh"
+
+namespace jetty::filter
+{
+
+/** Configuration of an EJ-SxA organization. */
+struct ExcludeJettyConfig
+{
+    unsigned sets = 32;   //!< power of two
+    unsigned assoc = 4;   //!< ways per set
+};
+
+/** The exclude-JETTY proper. */
+class ExcludeJetty : public SnoopFilter
+{
+  public:
+    ExcludeJetty(const ExcludeJettyConfig &cfg, const AddressMap &amap);
+
+    bool probe(Addr unitAddr) override;
+    void onSnoopMiss(Addr unitAddr, bool blockPresent) override;
+    void onFill(Addr unitAddr) override;
+    void onEvict(Addr) override {}
+    void clear() override;
+
+    StorageBreakdown storage() const override;
+    energy::FilterEnergyCosts
+    energyCosts(const energy::Technology &tech) const override;
+    std::string name() const override;
+
+    /** Bits of tag stored per entry (block address above the set index). */
+    unsigned storedTagBits() const { return tagBits_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool present = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr unitAddr) const;
+    Addr tagOf(Addr unitAddr) const;
+
+    ExcludeJettyConfig cfg_;
+    AddressMap amap_;
+    unsigned setBits_;
+    unsigned tagBits_;
+    std::vector<std::vector<Entry>> sets_;  //!< [set][way]
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace jetty::filter
+
+#endif // JETTY_CORE_EXCLUDE_JETTY_HH

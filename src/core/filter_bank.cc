@@ -1,0 +1,89 @@
+#include "core/filter_bank.hh"
+
+#include "core/filter_spec.hh"
+#include "util/logging.hh"
+
+namespace jetty::filter
+{
+
+void
+FilterStats::merge(const FilterStats &o)
+{
+    probes += o.probes;
+    filtered += o.filtered;
+    wouldMiss += o.wouldMiss;
+    filteredWouldMiss += o.filteredWouldMiss;
+    snoopAllocs += o.snoopAllocs;
+    fillUpdates += o.fillUpdates;
+    evictUpdates += o.evictUpdates;
+    safetyViolations += o.safetyViolations;
+}
+
+FilterBank::FilterBank(const std::vector<std::string> &specs,
+                       const AddressMap &amap, bool checkSafety)
+    : checkSafety_(checkSafety)
+{
+    filters_.reserve(specs.size());
+    for (const auto &spec : specs)
+        filters_.push_back(makeFilter(spec, amap));
+    stats_.resize(filters_.size());
+}
+
+void
+FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
+{
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        FilterStats &st = stats_[i];
+        ++st.probes;
+        if (!unitInL2)
+            ++st.wouldMiss;
+
+        const bool filtered = filters_[i]->probe(unitAddr);
+        if (filtered) {
+            ++st.filtered;
+            if (unitInL2) {
+                ++st.safetyViolations;
+                if (checkSafety_) {
+                    panic("JETTY safety violation: " + filters_[i]->name() +
+                          " filtered a snoop to a cached unit");
+                }
+            } else {
+                ++st.filteredWouldMiss;
+            }
+        } else if (!unitInL2) {
+            // Unfiltered true miss: exclude components allocate here.
+            filters_[i]->onSnoopMiss(unitAddr, blockInL2);
+            ++st.snoopAllocs;
+        }
+    }
+}
+
+void
+FilterBank::unitFilled(Addr unitAddr)
+{
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        filters_[i]->onFill(unitAddr);
+        ++stats_[i].fillUpdates;
+    }
+}
+
+void
+FilterBank::unitEvicted(Addr unitAddr)
+{
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        filters_[i]->onEvict(unitAddr);
+        ++stats_[i].evictUpdates;
+    }
+}
+
+int
+FilterBank::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        if (filters_[i]->name() == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace jetty::filter

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FilterBank: passive, parallel evaluation of many JETTY configurations on
+ * one processor's snoop and fill/evict streams.
+ *
+ * Filtering is observation-only -- a JETTY never changes a coherence
+ * outcome, only whether the L2 tag array is probed -- so a single
+ * simulation run can score every candidate configuration at once. The bank
+ * subscribes to the L2's fill/evict events, receives every snoop with its
+ * ground-truth outcome, checks the safety invariant (a filtered snoop must
+ * be a true miss), and accumulates per-filter coverage statistics that the
+ * energy accountant later combines with per-event filter energies.
+ */
+
+#ifndef JETTY_CORE_FILTER_BANK_HH
+#define JETTY_CORE_FILTER_BANK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snoop_filter.hh"
+#include "energy/accountant.hh"
+#include "mem/cache_events.hh"
+
+namespace jetty::filter
+{
+
+/** Coverage statistics of one filter on one processor. */
+struct FilterStats
+{
+    std::uint64_t probes = 0;          //!< snoops presented to the filter
+    std::uint64_t filtered = 0;        //!< snoops eliminated
+    std::uint64_t wouldMiss = 0;       //!< snoops that miss in the L2
+    std::uint64_t filteredWouldMiss = 0;  //!< filtered AND a true miss
+    std::uint64_t snoopAllocs = 0;     //!< onSnoopMiss deliveries
+    std::uint64_t fillUpdates = 0;     //!< L2 fill events observed
+    std::uint64_t evictUpdates = 0;    //!< L2 evict events observed
+    std::uint64_t safetyViolations = 0;  //!< must stay zero
+
+    /** Snoop-miss coverage (Section 4.3's key metric). */
+    double
+    coverage() const
+    {
+        return wouldMiss == 0
+                   ? 0.0
+                   : static_cast<double>(filteredWouldMiss) /
+                         static_cast<double>(wouldMiss);
+    }
+
+    /** Convert to the accountant's traffic view. */
+    energy::FilterTraffic
+    traffic() const
+    {
+        energy::FilterTraffic t;
+        t.probes = probes;
+        t.filtered = filtered;
+        t.snoopAllocs = snoopAllocs;
+        t.fillUpdates = fillUpdates;
+        t.evictUpdates = evictUpdates;
+        return t;
+    }
+
+    /** Merge another processor's stats for the same configuration. */
+    void merge(const FilterStats &o);
+};
+
+/** The bank of simultaneously evaluated filters for one processor. */
+class FilterBank : public mem::CacheEventListener
+{
+  public:
+    /**
+     * @param specs       configuration names (see filter_spec.hh).
+     * @param amap        address-space facts of the simulated system.
+     * @param checkSafety verify the "never filter a cached unit" guarantee
+     *                    against ground truth (panics on violation when
+     *                    true; counts violations either way).
+     */
+    FilterBank(const std::vector<std::string> &specs, const AddressMap &amap,
+               bool checkSafety = true);
+
+    /**
+     * Present one snoop to every filter.
+     * @param unitAddr   coherence-unit aligned snooped address.
+     * @param unitInL2   ground truth: the unit is valid in the local L2.
+     * @param blockInL2  ground truth: the enclosing block's tag matched
+     *                   (the tag probe reports this for free).
+     */
+    void observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2);
+
+    // CacheEventListener
+    void unitFilled(Addr unitAddr) override;
+    void unitEvicted(Addr unitAddr) override;
+
+    /** Number of filters in the bank. */
+    std::size_t size() const { return filters_.size(); }
+
+    /** Filter @p i. */
+    SnoopFilter &filterAt(std::size_t i) { return *filters_[i]; }
+    const SnoopFilter &filterAt(std::size_t i) const { return *filters_[i]; }
+
+    /** Stats of filter @p i. */
+    const FilterStats &statsAt(std::size_t i) const { return stats_[i]; }
+
+    /** Index of the filter whose name() equals @p name, or -1. */
+    int indexOf(const std::string &name) const;
+
+  private:
+    std::vector<SnoopFilterPtr> filters_;
+    std::vector<FilterStats> stats_;
+    bool checkSafety_;
+};
+
+} // namespace jetty::filter
+
+#endif // JETTY_CORE_FILTER_BANK_HH

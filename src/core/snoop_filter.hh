@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The SnoopFilter interface implemented by every JETTY variant.
+ *
+ * A filter sits between the bus and the L2 backside of one processor. On
+ * an incoming snoop the filter is probed; a @c true answer is a *guarantee*
+ * that the snooped coherence unit is not valid in the local L2, so the L2
+ * tag probe can be skipped. Filters are speculative but must be safe: a
+ * false "not cached" would break coherence, and the simulator verifies the
+ * guarantee against ground truth on every filtered snoop.
+ *
+ * Filters keep no coherence state beyond presence, exactly as the paper
+ * requires (no protocol changes). They learn through three event streams:
+ *  - probe(addr): a snoop arrived;
+ *  - onSnoopMiss(addr): the snoop was not filtered and missed in the L2
+ *    (this is when an Exclude-JETTY allocates);
+ *  - onFill/onEvict(addr): the L2 gained/lost a valid coherence unit
+ *    (this is how Include-JETTY counters and EJ present bits stay
+ *    coherent; the information is free at the L2, Section 3.2).
+ */
+
+#ifndef JETTY_CORE_SNOOP_FILTER_HH
+#define JETTY_CORE_SNOOP_FILTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "energy/accountant.hh"
+#include "energy/technology.hh"
+#include "util/types.hh"
+
+namespace jetty::filter
+{
+
+/**
+ * Address-space facts a filter needs to slice addresses and size its
+ * storage. Produced by the simulator from the L2 configuration.
+ */
+struct AddressMap
+{
+    /** log2 of the coherence-unit size (32 B -> 5). */
+    unsigned unitOffsetBits = 5;
+
+    /** log2 of the L2 block size (64 B -> 6); IJ indexing starts above
+     *  this per Section 4.3.3. */
+    unsigned blockOffsetBits = 6;
+
+    /** Physical address bits (paper: 36--40). */
+    unsigned physAddrBits = 40;
+
+    /** Total coherence units the L2 can hold (pessimistic IJ counter
+     *  sizing). */
+    std::uint64_t l2CapacityUnits = 32768;
+};
+
+/** Storage cost of a filter, for Table 4 style reporting. */
+struct StorageBreakdown
+{
+    std::uint64_t presenceBits = 0;  //!< bits probed on a snoop
+    std::uint64_t counterBits = 0;   //!< IJ cnt arrays (not probed by snoops)
+
+    std::uint64_t totalBits() const { return presenceBits + counterBits; }
+    double totalBytes() const { return totalBits() / 8.0; }
+};
+
+/** Abstract JETTY. */
+class SnoopFilter
+{
+  public:
+    virtual ~SnoopFilter() = default;
+
+    /**
+     * Probe for a snoop to @p unitAddr (coherence-unit aligned).
+     * @return true when the unit is guaranteed absent from the local L2
+     *         (the snoop is filtered).
+     */
+    virtual bool probe(Addr unitAddr) = 0;
+
+    /**
+     * The snoop to @p unitAddr was not filtered and the L2 tag probe
+     * missed. Exclude components allocate here.
+     *
+     * @param blockPresent the enclosing block's tag matched (some other
+     *        subblock is valid locally), so only the snooped unit is known
+     *        absent. When false the whole block is guaranteed absent --
+     *        the information an exclude-JETTY records. The tag probe that
+     *        discovered the miss supplies this for free.
+     */
+    virtual void onSnoopMiss(Addr unitAddr, bool blockPresent) = 0;
+
+    /** The local L2 gained a valid unit at @p unitAddr. */
+    virtual void onFill(Addr unitAddr) = 0;
+
+    /** The local L2 lost the valid unit at @p unitAddr. */
+    virtual void onEvict(Addr unitAddr) = 0;
+
+    /** Reset all filter contents (e.g., between workload phases). */
+    virtual void clear() = 0;
+
+    /** Storage cost breakdown. */
+    virtual StorageBreakdown storage() const = 0;
+
+    /** Per-event energies under @p tech, from the SramArray model. */
+    virtual energy::FilterEnergyCosts
+    energyCosts(const energy::Technology &tech) const = 0;
+
+    /** Canonical configuration name, e.g. "EJ-32x4". */
+    virtual std::string name() const = 0;
+};
+
+using SnoopFilterPtr = std::unique_ptr<SnoopFilter>;
+
+} // namespace jetty::filter
+
+#endif // JETTY_CORE_SNOOP_FILTER_HH

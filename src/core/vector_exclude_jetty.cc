@@ -1,0 +1,162 @@
+#include "core/vector_exclude_jetty.hh"
+
+#include "energy/sram_array.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::filter
+{
+
+VectorExcludeJetty::VectorExcludeJetty(const VectorExcludeJettyConfig &cfg,
+                                       const AddressMap &amap)
+    : cfg_(cfg), amap_(amap)
+{
+    if (!isPowerOfTwo(cfg.sets) || cfg.assoc == 0 ||
+        !isPowerOfTwo(cfg.vectorBits) || cfg.vectorBits > 64) {
+        fatal("VectorExcludeJetty: bad geometry");
+    }
+    vecBits_ = floorLog2(cfg.vectorBits);
+    setBits_ = floorLog2(cfg.sets);
+    const unsigned consumed = amap.blockOffsetBits + vecBits_ + setBits_;
+    if (amap.physAddrBits <= consumed)
+        fatal("VectorExcludeJetty: address space too small");
+    tagBits_ = amap.physAddrBits - consumed;
+    sets_.assign(cfg.sets, std::vector<Entry>(cfg.assoc));
+}
+
+std::uint64_t
+VectorExcludeJetty::setIndex(Addr unitAddr) const
+{
+    // The set index sits above the vector-selection bits; this is why a
+    // VEJ with the same sets/assoc as an EJ hashes addresses differently
+    // (the thrashing effect the paper observes on Barnes).
+    return bitField(unitAddr, amap_.blockOffsetBits + vecBits_, setBits_);
+}
+
+Addr
+VectorExcludeJetty::tagOf(Addr unitAddr) const
+{
+    return unitAddr >> (amap_.blockOffsetBits + vecBits_ + setBits_);
+}
+
+unsigned
+VectorExcludeJetty::bitOf(Addr unitAddr) const
+{
+    return static_cast<unsigned>(
+        bitField(unitAddr, amap_.blockOffsetBits, vecBits_));
+}
+
+bool
+VectorExcludeJetty::probe(Addr unitAddr)
+{
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+    const std::uint64_t bit = std::uint64_t{1} << bitOf(unitAddr);
+    for (auto &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++useClock_;
+            return (e.vector & bit) != 0;
+        }
+    }
+    return false;
+}
+
+void
+VectorExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
+{
+    if (blockPresent)
+        return;  // only whole-block absence may be recorded
+
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+    const std::uint64_t bit = std::uint64_t{1} << bitOf(unitAddr);
+
+    for (auto &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.vector |= bit;
+            e.lastUse = ++useClock_;
+            return;
+        }
+    }
+
+    Entry *victim = nullptr;
+    for (auto &e : set) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &set.front();
+        for (auto &e : set) {
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->vector = bit;
+    victim->lastUse = ++useClock_;
+}
+
+void
+VectorExcludeJetty::onFill(Addr unitAddr)
+{
+    auto &set = sets_[setIndex(unitAddr)];
+    const Addr tag = tagOf(unitAddr);
+    const std::uint64_t bit = std::uint64_t{1} << bitOf(unitAddr);
+    for (auto &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.vector &= ~bit;
+            if (e.vector == 0)
+                e.valid = false;
+            return;
+        }
+    }
+}
+
+void
+VectorExcludeJetty::clear()
+{
+    for (auto &set : sets_)
+        for (auto &e : set)
+            e = Entry{};
+    useClock_ = 0;
+}
+
+StorageBreakdown
+VectorExcludeJetty::storage() const
+{
+    StorageBreakdown s;
+    s.presenceBits = static_cast<std::uint64_t>(cfg_.sets) * cfg_.assoc *
+                     (tagBits_ + cfg_.vectorBits);
+    return s;
+}
+
+energy::FilterEnergyCosts
+VectorExcludeJetty::energyCosts(const energy::Technology &tech) const
+{
+    const std::uint64_t cols =
+        static_cast<std::uint64_t>(cfg_.assoc) * (tagBits_ + cfg_.vectorBits);
+    energy::SramArray array(cfg_.sets, cols, 1, tech);
+    const double comparators =
+        static_cast<double>(cfg_.assoc) * tagBits_ * tech.eComparatorPerBit;
+
+    energy::FilterEnergyCosts costs;
+    // Comparators and vector-bit muxes are adjacent to the array; no long
+    // output wires are driven on a probe.
+    costs.probe = array.readEnergy(0) + comparators;
+    costs.snoopAlloc = array.writeEnergy(tagBits_ + cfg_.vectorBits);
+    costs.fillUpdate = costs.probe + array.writeEnergy(cfg_.vectorBits);
+    costs.evictUpdate = 0.0;
+    return costs;
+}
+
+std::string
+VectorExcludeJetty::name() const
+{
+    return "VEJ-" + std::to_string(cfg_.sets) + "x" +
+           std::to_string(cfg_.assoc) + "-" + std::to_string(cfg_.vectorBits);
+}
+
+} // namespace jetty::filter

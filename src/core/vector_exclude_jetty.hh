@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Vector-Exclude-JETTY (Section 3.1, Figure 3a): an exclude-JETTY whose
+ * entries cover a chunk of V consecutive L2 *blocks* with a V-bit present
+ * vector, exploiting spatial locality in the snoop miss stream. The
+ * stored tag covers the chunk; the low block-address bits select the
+ * vector bit. A set bit means that whole block is absent from the local
+ * L2 (same whole-block semantics as the scalar EJ).
+ */
+
+#ifndef JETTY_CORE_VECTOR_EXCLUDE_JETTY_HH
+#define JETTY_CORE_VECTOR_EXCLUDE_JETTY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snoop_filter.hh"
+
+namespace jetty::filter
+{
+
+/** Configuration of a VEJ-SxA-V organization. */
+struct VectorExcludeJettyConfig
+{
+    unsigned sets = 32;       //!< power of two
+    unsigned assoc = 4;       //!< ways per set
+    unsigned vectorBits = 8;  //!< consecutive blocks per entry (power of 2)
+};
+
+/** The vector exclude-JETTY. */
+class VectorExcludeJetty : public SnoopFilter
+{
+  public:
+    VectorExcludeJetty(const VectorExcludeJettyConfig &cfg,
+                       const AddressMap &amap);
+
+    bool probe(Addr unitAddr) override;
+    void onSnoopMiss(Addr unitAddr, bool blockPresent) override;
+    void onFill(Addr unitAddr) override;
+    void onEvict(Addr) override {}
+    void clear() override;
+
+    StorageBreakdown storage() const override;
+    energy::FilterEnergyCosts
+    energyCosts(const energy::Technology &tech) const override;
+    std::string name() const override;
+
+    /** Bits of tag stored per entry. */
+    unsigned storedTagBits() const { return tagBits_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        std::uint64_t vector = 0;  //!< bit i set => block (chunk+i) absent
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr unitAddr) const;
+    Addr tagOf(Addr unitAddr) const;
+    unsigned bitOf(Addr unitAddr) const;
+
+    VectorExcludeJettyConfig cfg_;
+    AddressMap amap_;
+    unsigned vecBits_;   //!< log2(vectorBits)
+    unsigned setBits_;
+    unsigned tagBits_;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace jetty::filter
+
+#endif // JETTY_CORE_VECTOR_EXCLUDE_JETTY_HH

@@ -1,0 +1,108 @@
+#include "energy/accountant.hh"
+
+namespace jetty::energy
+{
+
+void
+L2Traffic::merge(const L2Traffic &o)
+{
+    localTagProbes += o.localTagProbes;
+    localTagUpdates += o.localTagUpdates;
+    localDataReads += o.localDataReads;
+    localDataWrites += o.localDataWrites;
+    snoopTagProbes += o.snoopTagProbes;
+    snoopTagUpdates += o.snoopTagUpdates;
+    snoopDataReads += o.snoopDataReads;
+}
+
+double
+EnergyAccountant::snoopProbeEnergy(AccessMode mode) const
+{
+    const auto &e = model_.energies();
+    // A snoop probes the tags; in parallel mode the data array is cycled
+    // concurrently (all ways of one unit) whether or not the snoop hits.
+    double energy = e.tagRead;
+    if (mode == AccessMode::Parallel)
+        energy += model_.dataReadAllWays();
+    return energy;
+}
+
+EnergyBreakdown
+EnergyAccountant::baseline(const L2Traffic &t, AccessMode mode) const
+{
+    const auto &e = model_.energies();
+    EnergyBreakdown out;
+
+    // Locally-initiated accesses.
+    double local = 0;
+    local += static_cast<double>(t.localTagProbes) * e.tagRead;
+    local += static_cast<double>(t.localTagUpdates) * e.tagWrite;
+    if (mode == AccessMode::Serial) {
+        local += static_cast<double>(t.localDataReads) * e.dataReadUnit;
+    } else {
+        // Parallel lookups read all ways; the extra (assoc-1) reads are
+        // charged on every local tag probe, plus the useful read itself.
+        local += static_cast<double>(t.localTagProbes) *
+                 (model_.dataReadAllWays() - e.dataReadUnit);
+        local += static_cast<double>(t.localDataReads) * e.dataReadUnit;
+    }
+    local += static_cast<double>(t.localDataWrites) * e.dataWriteUnit;
+    out.localEnergy = local;
+
+    // Snoop-induced accesses.
+    double snoop = 0;
+    snoop += static_cast<double>(t.snoopTagProbes) * snoopProbeEnergy(mode);
+    snoop += static_cast<double>(t.snoopTagUpdates) * e.tagWrite;
+    if (mode == AccessMode::Serial)
+        snoop += static_cast<double>(t.snoopDataReads) * e.dataReadUnit;
+    // (parallel mode already charged the data read inside the probe)
+    out.snoopEnergy = snoop;
+
+    return out;
+}
+
+EnergyBreakdown
+EnergyAccountant::withFilter(const L2Traffic &t, AccessMode mode,
+                             const FilterTraffic &f,
+                             const FilterEnergyCosts &costs) const
+{
+    EnergyBreakdown out = baseline(t, mode);
+
+    // Filtered snoops never reach the L2 tag array.
+    const double saved =
+        static_cast<double>(f.filtered) * snoopProbeEnergy(mode);
+    out.snoopEnergy -= saved;
+
+    double filter = 0;
+    filter += static_cast<double>(f.probes) * costs.probe;
+    filter += static_cast<double>(f.snoopAllocs) * costs.snoopAlloc;
+    filter += static_cast<double>(f.fillUpdates) * costs.fillUpdate;
+    filter += static_cast<double>(f.evictUpdates) * costs.evictUpdate;
+    out.filterEnergy = filter;
+
+    return out;
+}
+
+double
+EnergyAccountant::snoopReductionPct(const EnergyBreakdown &base,
+                                    const EnergyBreakdown &with)
+{
+    const double before = base.snoopEnergy;
+    const double after = with.snoopEnergy + with.filterEnergy;
+    if (before <= 0.0)
+        return 0.0;
+    return 100.0 * (1.0 - after / before);
+}
+
+double
+EnergyAccountant::totalReductionPct(const EnergyBreakdown &base,
+                                    const EnergyBreakdown &with)
+{
+    const double before = base.total();
+    const double after = with.total();
+    if (before <= 0.0)
+        return 0.0;
+    return 100.0 * (1.0 - after / before);
+}
+
+} // namespace jetty::energy

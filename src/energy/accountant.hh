@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Run-level energy accounting: combines per-access energies from the
+ * CacheEnergyModel with event counts gathered by the simulator to compute
+ * the total L2-related energy of a run, with and without a JETTY, in both
+ * the serial and parallel tag/data access modes. This regenerates the four
+ * panels of the paper's Figure 6.
+ */
+
+#ifndef JETTY_ENERGY_ACCOUNTANT_HH
+#define JETTY_ENERGY_ACCOUNTANT_HH
+
+#include <cstdint>
+
+#include "energy/cache_energy.hh"
+
+namespace jetty::energy
+{
+
+/** Tag/data array access discipline of the L2 (Section 4.4 models both). */
+enum class AccessMode
+{
+    /** Tag first, then (on a hit) exactly one way's data: energy
+     *  optimized, as in Alpha 21164 / Intel Xeon. */
+    Serial,
+
+    /** Tags and all ways' data read concurrently for latency: snoops and
+     *  local probes spend data energy even when they miss. */
+    Parallel,
+};
+
+/**
+ * Event counts for one processor's L2 over a run. Counts are in accesses
+ * (the accountant multiplies by per-access energies).
+ */
+struct L2Traffic
+{
+    std::uint64_t localTagProbes = 0;    //!< local lookups (incl. writebacks)
+    std::uint64_t localTagUpdates = 0;   //!< tag/state writes (fills, upgrades)
+    std::uint64_t localDataReads = 0;    //!< units read by local hits/fills to L1
+    std::uint64_t localDataWrites = 0;   //!< units written (fills, L1 writebacks)
+    std::uint64_t snoopTagProbes = 0;    //!< snoop-induced tag lookups (pre-filter)
+    std::uint64_t snoopTagUpdates = 0;   //!< state downgrades on snoop hits
+    std::uint64_t snoopDataReads = 0;    //!< units supplied to the bus by snoops
+
+    /** Sum of all tag-level accesses (used as the "all L2 accesses"
+     *  denominator basis). */
+    std::uint64_t
+    allTagAccesses() const
+    {
+        return localTagProbes + localTagUpdates + snoopTagProbes +
+               snoopTagUpdates;
+    }
+
+    /** Merge another processor's traffic. */
+    void merge(const L2Traffic &o);
+};
+
+/** Per-event energies of one JETTY organization (J). */
+struct FilterEnergyCosts
+{
+    double probe = 0;      //!< one snoop probe of the filter
+    double snoopAlloc = 0; //!< one EJ allocation on an unfiltered snoop miss
+    double fillUpdate = 0; //!< one update on an L2 fill (IJ cnt, EJ clear)
+    double evictUpdate = 0;//!< one update on an L2 eviction (IJ cnt)
+};
+
+/** Filter activity counts over a run (from the FilterBank statistics). */
+struct FilterTraffic
+{
+    std::uint64_t probes = 0;       //!< snoops that probed the filter
+    std::uint64_t filtered = 0;     //!< snoops the filter eliminated
+    std::uint64_t snoopAllocs = 0;  //!< EJ allocations
+    std::uint64_t fillUpdates = 0;  //!< L2 fill notifications processed
+    std::uint64_t evictUpdates = 0; //!< L2 evict notifications processed
+};
+
+/** Energy totals of one run under one configuration (J). */
+struct EnergyBreakdown
+{
+    double localEnergy = 0;   //!< locally-initiated L2 energy
+    double snoopEnergy = 0;   //!< snoop-induced L2 energy (post filtering)
+    double filterEnergy = 0;  //!< energy spent inside the JETTY itself
+
+    double total() const { return localEnergy + snoopEnergy + filterEnergy; }
+};
+
+/**
+ * Computes run energies. Construct once per L2 organization, then evaluate
+ * any number of (traffic, filter) combinations.
+ */
+class EnergyAccountant
+{
+  public:
+    explicit EnergyAccountant(const CacheEnergyModel &model)
+        : model_(model)
+    {}
+
+    /**
+     * Total L2 energy with no filter (the baseline). @p mode selects
+     * serial or parallel tag/data discipline.
+     */
+    EnergyBreakdown baseline(const L2Traffic &traffic, AccessMode mode) const;
+
+    /**
+     * Total energy with a JETTY that filtered @p filter.filtered of the
+     * snoop tag probes. Filtered snoops skip the L2 tag (and, in parallel
+     * mode, data) access entirely; every snoop pays the filter probe;
+     * filter bookkeeping (EJ allocs, IJ counter updates) is charged at the
+     * given per-event costs.
+     */
+    EnergyBreakdown withFilter(const L2Traffic &traffic, AccessMode mode,
+                               const FilterTraffic &filter,
+                               const FilterEnergyCosts &costs) const;
+
+    /** Percentage reduction of snoop-related energy:
+     *  1 - (filtered snoop+filter energy) / (baseline snoop energy). */
+    static double snoopReductionPct(const EnergyBreakdown &base,
+                                    const EnergyBreakdown &with);
+
+    /** Percentage reduction of total L2 energy. */
+    static double totalReductionPct(const EnergyBreakdown &base,
+                                    const EnergyBreakdown &with);
+
+  private:
+    /** Snoop-side energy per unfiltered snoop tag probe. */
+    double snoopProbeEnergy(AccessMode mode) const;
+
+    const CacheEnergyModel &model_;
+};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_ACCOUNTANT_HH

@@ -1,0 +1,40 @@
+#include "energy/analytical.hh"
+
+#include <cassert>
+
+namespace jetty::energy
+{
+
+AnalyticalResult
+AnalyticalSnoopModel::evaluate(double l, double r) const
+{
+    assert(l >= 0.0 && l <= 1.0 && r >= 0.0 && r <= 1.0);
+
+    const double tag = params_.tagEnergy;
+    const double data = params_.dataEnergy;
+    const double remotes = static_cast<double>(params_.ncpu - 1);
+
+    AnalyticalResult res;
+    res.tagSnoopMiss = tag * remotes * (1.0 - l) * (1.0 - r);
+    res.snoopEnergy = res.tagSnoopMiss + tag * remotes * (1.0 - l) * r;
+    res.dataEnergy = data * (1.0 + remotes * (1.0 - l) * r);
+    res.tagAll = res.snoopEnergy + tag * (1.0 + (1.0 - l));
+    const double total = res.dataEnergy + res.tagAll;
+    res.snoopMissFraction = total > 0.0 ? res.tagSnoopMiss / total : 0.0;
+    return res;
+}
+
+AnalyticalSnoopModel
+AnalyticalSnoopModel::forCache(const CacheGeometry &geom, unsigned ncpu,
+                               const Technology &tech)
+{
+    CacheEnergyModel model(geom, tech);
+    AnalyticalParams p;
+    p.tagEnergy = model.energies().tagRead;
+    // Section 2.1's estimate charges one whole block per data access.
+    p.dataEnergy = model.energies().dataReadUnit * geom.subblocks;
+    p.ncpu = ncpu;
+    return AnalyticalSnoopModel(p);
+}
+
+} // namespace jetty::energy

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's Appendix-A analytical model of snoop-induced miss energy.
+ *
+ * Given per-access tag (TAG) and data (DATA) energies, a processor count
+ * Ncpu, a local L2 hit rate L and a remote hit rate R, the model expresses
+ * the energy of snoop-induced tag lookups that miss as a fraction of all L2
+ * energy. It drives Figure 2 and the motivation numbers of Section 2.1.
+ */
+
+#ifndef JETTY_ENERGY_ANALYTICAL_HH
+#define JETTY_ENERGY_ANALYTICAL_HH
+
+#include <cstdint>
+
+#include "energy/cache_energy.hh"
+
+namespace jetty::energy
+{
+
+/** Inputs of the Appendix-A model. */
+struct AnalyticalParams
+{
+    /** Energy of one tag-array probe (J). */
+    double tagEnergy = 0;
+
+    /** Energy of one data-array access (J). */
+    double dataEnergy = 0;
+
+    /** Number of processors in the SMP. */
+    unsigned ncpu = 4;
+};
+
+/** Breakdown produced by the model for one (L, R) operating point. */
+struct AnalyticalResult
+{
+    double tagSnoopMiss = 0;  //!< energy of snoop-induced tag misses
+    double snoopEnergy = 0;   //!< energy of all snoop-induced tag accesses
+    double dataEnergy = 0;    //!< energy of all data-array accesses
+    double tagAll = 0;        //!< energy of all tag accesses
+    double snoopMissFraction = 0;  //!< tagSnoopMiss / (data + tagAll)
+};
+
+/**
+ * Implements the Appendix-A equations. Per local access:
+ *   TagSnoopMiss = TAG * (Ncpu-1) * (1-L) * (1-R)
+ *   SnoopE       = TagSnoopMiss + TAG * (Ncpu-1) * (1-L) * R
+ *   Data         = DATA * (1 + (Ncpu-1) * (1-L) * R)
+ *   TagAll       = SnoopE + TAG * (1 + (1-L))
+ *   SnoopMissE   = TagSnoopMiss / (Data + TagAll)
+ *
+ * The model ignores writebacks and state-bit updates (the detailed
+ * simulation accounting in EnergyAccountant includes them).
+ */
+class AnalyticalSnoopModel
+{
+  public:
+    explicit AnalyticalSnoopModel(const AnalyticalParams &params)
+        : params_(params)
+    {}
+
+    /** Evaluate the model at local hit rate @p l and remote hit rate @p r,
+     *  both in [0, 1]. */
+    AnalyticalResult evaluate(double l, double r) const;
+
+    /**
+     * Convenience: build the model for a cache organization by deriving
+     * TAG/DATA energies from the CacheEnergyModel (serial access, one
+     * block read per data access as in Section 2.1's estimate).
+     */
+    static AnalyticalSnoopModel
+    forCache(const CacheGeometry &geom, unsigned ncpu,
+             const Technology &tech = Technology::micron180());
+
+  private:
+    AnalyticalParams params_;
+};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_ANALYTICAL_HH

@@ -1,0 +1,58 @@
+#include "energy/cache_energy.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+
+namespace jetty::energy
+{
+
+unsigned
+CacheGeometry::tagBits() const
+{
+    const unsigned offset_bits = jetty::floorLog2(blockBytes);
+    const unsigned index_bits = jetty::floorLog2(sets());
+    assert(physAddrBits > offset_bits + index_bits);
+    return physAddrBits - offset_bits - index_bits;
+}
+
+CacheEnergyModel::CacheEnergyModel(const CacheGeometry &geom,
+                                   const Technology &tech,
+                                   unsigned tagMaxBanks,
+                                   unsigned dataMaxBanks)
+    : geom_(geom)
+{
+    const std::uint64_t sets = geom.sets();
+    assert(sets > 0 && jetty::isPowerOfTwo(sets));
+
+    // --- Tag array: one row per set, all ways side by side. Each way
+    // stores the tag plus per-subblock coherence state.
+    const unsigned tag_entry_bits =
+        geom.tagBits() + geom.subblocks * geom.stateBitsPerUnit;
+    const std::uint64_t tag_cols =
+        static_cast<std::uint64_t>(geom.assoc) * tag_entry_bits;
+
+    tagBanks_ = SramArray::optimalBanks(sets, tag_cols, tech, tagMaxBanks,
+                                        static_cast<unsigned>(tag_cols));
+    SramArray tag_array(sets, tag_cols, tagBanks_, tech);
+
+    const double comparator =
+        static_cast<double>(geom.assoc) * geom.tagBits() *
+        tech.eComparatorPerBit;
+
+    energies_.tagRead =
+        tag_array.readEnergy(static_cast<unsigned>(tag_cols)) + comparator;
+    energies_.tagWrite = tag_array.writeEnergy(tag_entry_bits);
+
+    // --- Data array: modelled per way so a serial access activates a
+    // single way's subarray and reads one coherence unit.
+    const unsigned unit_bits = geom.unitBytes() * 8;
+    dataBanks_ = SramArray::optimalBanks(sets, unit_bits, tech, dataMaxBanks,
+                                         unit_bits);
+    SramArray data_way(sets, unit_bits, dataBanks_, tech);
+
+    energies_.dataReadUnit = data_way.readEnergy(unit_bits);
+    energies_.dataWriteUnit = data_way.writeEnergy(unit_bits);
+}
+
+} // namespace jetty::energy

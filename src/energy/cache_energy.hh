@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cache-level energy model: maps a cache organization (size, associativity,
+ * block/subblock geometry) onto tag-array and data-array per-access
+ * energies using the SramArray model, with CACTI-lite bank selection.
+ *
+ * Modelling choices (documented in DESIGN.md):
+ *  - The tag array is latency-critical (it gates the hit/miss decision and
+ *    the snoop response window), so its banking is capped low
+ *    (@c tagMaxBanks, default 4). The data array of an energy-optimized,
+ *    serially-accessed L2 can be banked freely (@c dataMaxBanks).
+ *  - A tag access reads all ways of one set: associativity x (tag bits +
+ *    per-subblock state bits), followed by comparators on the tag bits.
+ *  - A serial data access touches exactly one coherence unit (subblock) of
+ *    the matching way. A parallel-mode access reads all ways concurrently.
+ */
+
+#ifndef JETTY_ENERGY_CACHE_ENERGY_HH
+#define JETTY_ENERGY_CACHE_ENERGY_HH
+
+#include <cstdint>
+
+#include "energy/sram_array.hh"
+#include "energy/technology.hh"
+
+namespace jetty::energy
+{
+
+/** Structural description of a cache for energy purposes. */
+struct CacheGeometry
+{
+    /** Total data capacity in bytes. */
+    std::uint64_t sizeBytes = 1ull << 20;
+
+    /** Set associativity (1 = direct mapped). */
+    unsigned assoc = 1;
+
+    /** Address block (tag granularity) in bytes. */
+    unsigned blockBytes = 64;
+
+    /** Subblocks per block (coherence units sharing one tag). */
+    unsigned subblocks = 2;
+
+    /** Physical address bits (paper: IA-32-like 36, SPARC-like 40). */
+    unsigned physAddrBits = 36;
+
+    /** Coherence state bits kept per subblock (MOESI needs 3). */
+    unsigned stateBitsPerUnit = 3;
+
+    /** Number of sets. */
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) * assoc);
+    }
+
+    /** Coherence unit (subblock) size in bytes. */
+    unsigned unitBytes() const { return blockBytes / subblocks; }
+
+    /** Tag bits stored per block. */
+    unsigned tagBits() const;
+};
+
+/** Per-access energies (joules) of one cache. */
+struct CacheAccessEnergies
+{
+    double tagRead = 0;        //!< probe one set's tags + compare
+    double tagWrite = 0;       //!< update one way's tag/state
+    double dataReadUnit = 0;   //!< read one coherence unit, one way (serial)
+    double dataWriteUnit = 0;  //!< write one coherence unit, one way
+};
+
+/**
+ * Computes and holds the per-access energies of one cache organization.
+ */
+class CacheEnergyModel
+{
+  public:
+    /**
+     * @param geom         cache organization.
+     * @param tech         technology point.
+     * @param tagMaxBanks  banking cap for the latency-critical tag array.
+     * @param dataMaxBanks banking cap for the data array.
+     */
+    explicit CacheEnergyModel(const CacheGeometry &geom,
+                              const Technology &tech = Technology::micron180(),
+                              unsigned tagMaxBanks = 4,
+                              unsigned dataMaxBanks = 64);
+
+    /** The computed per-access energies. */
+    const CacheAccessEnergies &energies() const { return energies_; }
+
+    /** The geometry this model was built for. */
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Bank counts chosen by the CACTI-lite optimizer. */
+    unsigned tagBanks() const { return tagBanks_; }
+    unsigned dataBanks() const { return dataBanks_; }
+
+    /** Energy of one parallel-mode lookup's data-side share: all ways of
+     *  one unit read concurrently (before the tag compare resolves). */
+    double dataReadAllWays() const
+    {
+        return energies_.dataReadUnit * geom_.assoc;
+    }
+
+  private:
+    CacheGeometry geom_;
+    CacheAccessEnergies energies_;
+    unsigned tagBanks_;
+    unsigned dataBanks_;
+};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_CACHE_ENERGY_HH

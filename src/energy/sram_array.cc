@@ -1,0 +1,112 @@
+#include "energy/sram_array.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hh"
+
+namespace jetty::energy
+{
+
+SramArray::SramArray(std::uint64_t rows, std::uint64_t cols, unsigned banks,
+                     const Technology &tech)
+    : rows_(rows), cols_(cols), banks_(std::max(1u, banks)), tech_(tech)
+{
+    assert(rows_ > 0 && cols_ > 0);
+    rowsPerBank_ = (rows_ + banks_ - 1) / banks_;
+}
+
+double
+SramArray::bitlineCap() const
+{
+    const double per_cell =
+        tech_.cDrainPerCell + tech_.cellHeightMicron * tech_.cWirePerMicron;
+    return static_cast<double>(rowsPerBank_) * per_cell;
+}
+
+double
+SramArray::readEnergy(unsigned bitsOut) const
+{
+    const double vdd = tech_.vdd;
+
+    // Both bitlines of every column pair are precharged; one side swings
+    // by the (sense-limited) read swing.
+    const double e_bitline = static_cast<double>(cols_) * 2.0 *
+                             bitlineCap() * vdd * tech_.bitlineSwingRead;
+
+    // One wordline toggles, loaded by every cell in the row.
+    const double e_wordline =
+        static_cast<double>(cols_) * tech_.cGatePerCell * vdd * vdd;
+
+    // Row decoder for the active bank plus bank-select decoding.
+    const unsigned addr_bits =
+        jetty::ceilLog2(std::max<std::uint64_t>(2, rowsPerBank_)) +
+        jetty::ceilLog2(std::max<unsigned>(2, banks_));
+    const double e_decoder = addr_bits * tech_.eDecoderPerBit;
+
+    // One sense amp per column fires.
+    const double e_sense = static_cast<double>(cols_) * tech_.eSenseAmp;
+
+    // Transport the selected bits to the consumer.
+    const double e_output =
+        static_cast<double>(bitsOut) * tech_.cOutputDriver * vdd * vdd;
+
+    // Every bank pays precharge-control clocking.
+    const double e_ctrl = static_cast<double>(banks_) * tech_.eBankControl;
+
+    return e_bitline + e_wordline + e_decoder + e_sense + e_output + e_ctrl;
+}
+
+double
+SramArray::writeEnergy(unsigned bitsWritten) const
+{
+    const double vdd = tech_.vdd;
+
+    // Written columns are driven full swing; the rest of the row's columns
+    // are still precharged (half-select) with read-like swing.
+    const double written = std::min<double>(bitsWritten, cols_);
+    const double e_drive = written * 2.0 * bitlineCap() * vdd * vdd;
+    const double e_half = (static_cast<double>(cols_) - written) * 2.0 *
+                          bitlineCap() * vdd * tech_.bitlineSwingRead;
+
+    const double e_wordline =
+        static_cast<double>(cols_) * tech_.cGatePerCell * vdd * vdd;
+
+    const unsigned addr_bits =
+        jetty::ceilLog2(std::max<std::uint64_t>(2, rowsPerBank_)) +
+        jetty::ceilLog2(std::max<unsigned>(2, banks_));
+    const double e_decoder = addr_bits * tech_.eDecoderPerBit;
+
+    // Input drivers bring the written bits to the bank.
+    const double e_input = written * tech_.cOutputDriver * vdd * vdd;
+
+    const double e_ctrl = static_cast<double>(banks_) * tech_.eBankControl;
+
+    return e_drive + e_half + e_wordline + e_decoder + e_input + e_ctrl;
+}
+
+unsigned
+SramArray::optimalBanks(std::uint64_t rows, std::uint64_t cols,
+                        const Technology &tech, unsigned maxBanks,
+                        unsigned bitsOut)
+{
+    // Banks shorter than ~16 rows are not worth their decoder and sense
+    // overheads in practice; the energy model's per-bank control term is
+    // too coarse to capture that, so enforce it structurally.
+    constexpr std::uint64_t min_rows_per_bank = 16;
+
+    unsigned best = 1;
+    double best_e = SramArray(rows, cols, 1, tech).readEnergy(bitsOut);
+    for (unsigned b = 2; b <= maxBanks; b *= 2) {
+        if (b >= rows || rows / b < min_rows_per_bank)
+            break;
+        const double e = SramArray(rows, cols, b, tech).readEnergy(bitsOut);
+        if (e < best_e) {
+            best_e = e;
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace jetty::energy

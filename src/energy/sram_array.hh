@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-access energy model of a banked SRAM array, in the spirit of
+ * Kamble & Ghose, "Analytical Energy Dissipation Models for Low Power
+ * Caches" (ISLPED'97): switching energy on bitlines, wordlines, decoders,
+ * sense amplifiers and output drivers.
+ */
+
+#ifndef JETTY_ENERGY_SRAM_ARRAY_HH
+#define JETTY_ENERGY_SRAM_ARRAY_HH
+
+#include <cstdint>
+
+#include "energy/technology.hh"
+
+namespace jetty::energy
+{
+
+/**
+ * A logical SRAM array of rows x cols bits, implemented as @c banks
+ * identical sub-banks stacked along the rows dimension. One bank is
+ * activated per access; all banks pay a small control overhead.
+ */
+class SramArray
+{
+  public:
+    /**
+     * @param rows  logical number of rows (entries).
+     * @param cols  bits per row.
+     * @param banks number of sub-banks (power of two, divides rows
+     *              conceptually; a partial last bank is fine).
+     * @param tech  technology parameters.
+     */
+    SramArray(std::uint64_t rows, std::uint64_t cols, unsigned banks,
+              const Technology &tech);
+
+    /**
+     * Energy of one read access (J). All @c cols bitline pairs of the
+     * active bank are precharged and partially discharged; @p bitsOut bits
+     * are then transported to the consumer through output drivers.
+     */
+    double readEnergy(unsigned bitsOut) const;
+
+    /**
+     * Energy of one write access (J): full-swing drive of @p bitsWritten
+     * bitline pairs plus wordline/decoder overheads.
+     */
+    double writeEnergy(unsigned bitsWritten) const;
+
+    /** Rows in one bank (ceiling division). */
+    std::uint64_t rowsPerBank() const { return rowsPerBank_; }
+
+    /** Storage capacity in bits. */
+    std::uint64_t bits() const { return rows_ * cols_; }
+
+    /**
+     * CACTI-lite: choose the power-of-two bank count in [1, maxBanks] that
+     * minimizes read energy for an array of the given shape. Models the
+     * trade-off between shorter bitlines (less precharge energy) and
+     * replicated bank control.
+     */
+    static unsigned optimalBanks(std::uint64_t rows, std::uint64_t cols,
+                                 const Technology &tech,
+                                 unsigned maxBanks = 64,
+                                 unsigned bitsOut = 0);
+
+  private:
+    /** Capacitance of one bitline within a bank (F). */
+    double bitlineCap() const;
+
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    unsigned banks_;
+    std::uint64_t rowsPerBank_;
+    Technology tech_;
+};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_SRAM_ARRAY_HH

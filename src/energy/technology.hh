@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CMOS technology parameters for the energy models.
+ *
+ * The paper assumes a 0.18 um process at 1.8 V with interconnect
+ * characteristics from Cong et al. (ICCAD'97) and the Kamble--Ghose
+ * analytical cache-energy framework. The constants below are representative
+ * published values for that node; the reproduction's results are *relative*
+ * energies, so only the scaling behaviour (bitline energy proportional to
+ * rows x columns, output-driver energy proportional to bits transported)
+ * must be right, which it is by construction.
+ */
+
+#ifndef JETTY_ENERGY_TECHNOLOGY_HH
+#define JETTY_ENERGY_TECHNOLOGY_HH
+
+namespace jetty::energy
+{
+
+/** Process/circuit parameters consumed by the SRAM array model. */
+struct Technology
+{
+    /** Supply voltage in volts. */
+    double vdd = 1.8;
+
+    /** Pass-transistor drain capacitance a cell adds to its bitline (F). */
+    double cDrainPerCell = 1.0e-15;
+
+    /** Metal wire capacitance per micron (F/um). */
+    double cWirePerMicron = 0.2e-15;
+
+    /** SRAM cell height along the bitline (um). */
+    double cellHeightMicron = 2.0;
+
+    /** SRAM cell width along the wordline (um). */
+    double cellWidthMicron = 2.1;
+
+    /** Gate load a cell places on its wordline (two pass transistors, F). */
+    double cGatePerCell = 1.6e-15;
+
+    /** Sensed (partial) bitline swing on reads, volts. */
+    double bitlineSwingRead = 0.3;
+
+    /** Energy of one sense amplifier firing (J). */
+    double eSenseAmp = 0.02e-12;
+
+    /** Capacitance of one output/IO driver load (F per bit transported). */
+    double cOutputDriver = 0.1e-12;
+
+    /** Energy per tag-comparator bit (match-line + XOR, J). */
+    double eComparatorPerBit = 0.02e-12;
+
+    /** Decoder energy per decoded address bit (J). */
+    double eDecoderPerBit = 0.05e-12;
+
+    /** Per-bank control (precharge clocking) energy, charged for every
+     *  bank in the mat on each access; this is what makes over-banking
+     *  counter-productive and gives the CACTI-lite optimizer a minimum. */
+    double eBankControl = 0.02e-12;
+
+    /** The canonical 0.18 um / 1.8 V technology point used in the paper. */
+    static Technology
+    micron180()
+    {
+        return Technology{};
+    }
+};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_TECHNOLOGY_HH

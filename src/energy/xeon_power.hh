@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Published peak-power data for the 400 MHz Intel Pentium II Xeon used in
+ * the paper's Table 1 (source: Microprocessor Report vol. 12 no. 9, via
+ * the paper), plus the derived relative columns. The constants are data,
+ * not an experiment; bench_table1 regenerates the derived ratios.
+ */
+
+#ifndef JETTY_ENERGY_XEON_POWER_HH
+#define JETTY_ENERGY_XEON_POWER_HH
+
+#include <array>
+#include <cstdint>
+
+namespace jetty::energy
+{
+
+/** One row of Table 1: peak power split for a given L2 size. */
+struct XeonPowerRow
+{
+    std::uint64_t l2KBytes;  //!< L2 capacity in KB
+    double coreWatts;        //!< processor core peak power
+    double l2Watts;          //!< external L2 SRAM peak power (w/o pads)
+    double l2PadWatts;       //!< L2 pad drivers peak power
+
+    /** L2 SRAM share of overall (core + L2 + pads) power -- the paper's
+     *  "L2" column, which counts pad power in the denominator only. */
+    double
+    l2FractionWithPads() const
+    {
+        return l2Watts / (coreWatts + l2Watts + l2PadWatts);
+    }
+
+    /** L2 share with pad power excluded everywhere: the paper's estimate
+     *  for a hypothetical on-chip L2. */
+    double
+    l2FractionWithoutPads() const
+    {
+        return l2Watts / (coreWatts + l2Watts);
+    }
+};
+
+/** The three rows of Table 1 (512 KB / 1 MB / 2 MB parts). */
+inline constexpr std::array<XeonPowerRow, 3> xeonPowerTable{{
+    {512, 23.3, 4.5, 3.0},
+    {1024, 23.3, 9.0, 6.0},
+    {2048, 23.3, 18.0, 12.0},
+}};
+
+} // namespace jetty::energy
+
+#endif // JETTY_ENERGY_XEON_POWER_HH

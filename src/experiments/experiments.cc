@@ -1,0 +1,166 @@
+#include "experiments/experiments.hh"
+
+#include <cstdlib>
+
+#include "core/filter_spec.hh"
+#include "util/logging.hh"
+
+namespace jetty::experiments
+{
+
+sim::SmpConfig
+SystemVariant::smpConfig() const
+{
+    sim::SmpConfig cfg;
+    cfg.nprocs = nprocs;
+    cfg.l1.sizeBytes = 64 * 1024;
+    cfg.l1.assoc = 1;
+    cfg.l1.blockBytes = 32;
+    cfg.l2.sizeBytes = 1024 * 1024;
+    cfg.l2.assoc = 1;
+    if (subblocked) {
+        cfg.l2.blockBytes = 64;
+        cfg.l2.subblocks = 2;
+    } else {
+        // The paper's "NSB" comparison system: coherence at whole-block
+        // granularity. We keep 32 B blocks so the L1 line still equals
+        // the coherence unit.
+        cfg.l2.blockBytes = 32;
+        cfg.l2.subblocks = 1;
+    }
+    cfg.wbEntries = 8;
+    cfg.physAddrBits = 40;
+    return cfg;
+}
+
+energy::CacheGeometry
+SystemVariant::l2EnergyGeometry() const
+{
+    const sim::SmpConfig cfg = smpConfig();
+    energy::CacheGeometry geom;
+    geom.sizeBytes = cfg.l2.sizeBytes;
+    // The paper's energy analysis (Sections 2.1 and 4.4) assumes a 4-way
+    // set-associative 1MB L2 -- wide-tag lookups are the motivation for
+    // filtering -- even though the WWT2-style functional simulation uses
+    // a SPARC-like direct-mapped L2. We follow the same split.
+    geom.assoc = 4;
+    geom.blockBytes = cfg.l2.blockBytes;
+    geom.subblocks = cfg.l2.subblocks;
+    geom.physAddrBits = cfg.physAddrBits;
+    geom.stateBitsPerUnit = 3;  // MOESI
+    return geom;
+}
+
+std::vector<std::string>
+allPaperFilterSpecs()
+{
+    std::vector<std::string> specs;
+    for (const auto &s : filter::paperExcludeSpecs())
+        specs.push_back(s);
+    for (const auto &s : filter::paperVectorExcludeSpecs())
+        specs.push_back(s);
+    for (const auto &s : filter::paperIncludeSpecs())
+        specs.push_back(s);
+    for (const auto &s : filter::paperHybridSpecs())
+        specs.push_back(s);
+    return specs;
+}
+
+const filter::FilterStats &
+AppRunResult::statsFor(const std::string &name) const
+{
+    for (std::size_t i = 0; i < filterNames.size(); ++i) {
+        if (filterNames[i] == name)
+            return filterStats[i];
+    }
+    fatal("AppRunResult: unknown filter '" + name + "'");
+}
+
+const energy::FilterEnergyCosts &
+AppRunResult::costsFor(const std::string &name) const
+{
+    for (std::size_t i = 0; i < filterNames.size(); ++i) {
+        if (filterNames[i] == name)
+            return filterCosts[i];
+    }
+    fatal("AppRunResult: unknown filter '" + name + "'");
+}
+
+double
+defaultScale()
+{
+    if (const char *env = std::getenv("JETTY_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+        warn("ignoring non-positive JETTY_SCALE");
+    }
+    return 1.0;
+}
+
+AppRunResult
+runApp(const trace::AppProfile &app, const SystemVariant &variant,
+       const std::vector<std::string> &filterSpecs, double accessScale)
+{
+    if (accessScale <= 0)
+        accessScale = defaultScale();
+
+    sim::SmpConfig cfg = variant.smpConfig();
+    cfg.filterSpecs = filterSpecs;
+
+    trace::Workload workload(app, cfg.nprocs, accessScale);
+    sim::SmpSystem system(cfg);
+
+    std::vector<trace::TraceSourcePtr> sources;
+    for (unsigned p = 0; p < cfg.nprocs; ++p)
+        sources.push_back(workload.makeSource(p));
+    system.attachSources(std::move(sources));
+    system.run();
+
+    AppRunResult res;
+    res.appName = app.name;
+    res.abbrev = app.abbrev;
+    res.memoryAllocated = workload.memoryAllocated();
+    res.stats = system.stats();
+    res.traffic = system.mergedTraffic();
+
+    const energy::Technology tech = energy::Technology::micron180();
+    const auto &bank = system.bank(0);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        res.filterNames.push_back(bank.filterAt(i).name());
+        res.filterStats.push_back(system.mergedFilterStats(i));
+        res.filterCosts.push_back(bank.filterAt(i).energyCosts(tech));
+    }
+    return res;
+}
+
+std::vector<AppRunResult>
+runAllApps(const SystemVariant &variant,
+           const std::vector<std::string> &specs, double accessScale)
+{
+    std::vector<AppRunResult> out;
+    for (const auto &app : trace::paperApps())
+        out.push_back(runApp(app, variant, specs, accessScale));
+    return out;
+}
+
+EnergyResult
+evaluateEnergy(const AppRunResult &run, const SystemVariant &variant,
+               const std::string &name, energy::AccessMode mode)
+{
+    const energy::CacheEnergyModel model(variant.l2EnergyGeometry());
+    const energy::EnergyAccountant accountant(model);
+
+    const auto base = accountant.baseline(run.traffic, mode);
+    const auto with = accountant.withFilter(
+        run.traffic, mode, run.statsFor(name).traffic(), run.costsFor(name));
+
+    EnergyResult res;
+    res.reductionOverSnoopsPct =
+        energy::EnergyAccountant::snoopReductionPct(base, with);
+    res.reductionOverAllPct =
+        energy::EnergyAccountant::totalReductionPct(base, with);
+    return res;
+}
+
+} // namespace jetty::experiments

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared experiment kit for the bench harness: canonical paper
+ * configurations, one-call application runs, per-app result bundles, and
+ * energy evaluation helpers. Every bench binary (one per paper table and
+ * figure) builds on these.
+ */
+
+#ifndef JETTY_EXPERIMENTS_EXPERIMENTS_HH
+#define JETTY_EXPERIMENTS_EXPERIMENTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter_bank.hh"
+#include "energy/accountant.hh"
+#include "energy/cache_energy.hh"
+#include "sim/smp_system.hh"
+#include "trace/apps.hh"
+#include "trace/synthetic.hh"
+
+namespace jetty::experiments
+{
+
+/** Base system variants exercised by the evaluation. */
+struct SystemVariant
+{
+    unsigned nprocs = 4;
+    bool subblocked = true;  //!< 64 B blocks of two 32 B units vs 32 B units
+
+    /** Build the SmpConfig (filters added by the caller). */
+    sim::SmpConfig smpConfig() const;
+
+    /** Cache geometry for the energy model of this variant's L2. */
+    energy::CacheGeometry l2EnergyGeometry() const;
+};
+
+/** Every filter configuration the paper evaluates, in bench order. */
+std::vector<std::string> allPaperFilterSpecs();
+
+/** Results of running one application on one system variant. */
+struct AppRunResult
+{
+    std::string appName;
+    std::string abbrev;
+    std::uint64_t memoryAllocated = 0;
+    sim::SimStats stats{4};
+
+    /** Names of the evaluated filters, parallel to filterStats. */
+    std::vector<std::string> filterNames;
+
+    /** Per-filter stats merged over all processors. */
+    std::vector<filter::FilterStats> filterStats;
+
+    /** Per-filter per-event energies (J). */
+    std::vector<energy::FilterEnergyCosts> filterCosts;
+
+    /** L2 traffic merged over all processors. */
+    energy::L2Traffic traffic;
+
+    /** Coverage of filter @p name; fatal() when unknown. */
+    const filter::FilterStats &statsFor(const std::string &name) const;
+    const energy::FilterEnergyCosts &costsFor(const std::string &name) const;
+};
+
+/**
+ * Run application @p app on @p variant evaluating @p filterSpecs.
+ * @param accessScale scales the reference count (JETTY_SCALE env or
+ *                    defaultScale() when <= 0).
+ */
+AppRunResult runApp(const trace::AppProfile &app,
+                    const SystemVariant &variant,
+                    const std::vector<std::string> &filterSpecs,
+                    double accessScale = -1.0);
+
+/** Run all ten paper applications (Table 2 order). */
+std::vector<AppRunResult> runAllApps(const SystemVariant &variant,
+                                     const std::vector<std::string> &specs,
+                                     double accessScale = -1.0);
+
+/** The access scale used by benches: 1.0, or the JETTY_SCALE env var. */
+double defaultScale();
+
+/** Energy-reduction summary of one filter on one run. */
+struct EnergyResult
+{
+    double reductionOverSnoopsPct = 0;  //!< Figure 6(a)/(c)
+    double reductionOverAllPct = 0;     //!< Figure 6(b)/(d)
+};
+
+/** Evaluate filter @p name on @p run under @p mode (serial/parallel). */
+EnergyResult evaluateEnergy(const AppRunResult &run,
+                            const SystemVariant &variant,
+                            const std::string &name,
+                            energy::AccessMode mode);
+
+} // namespace jetty::experiments
+
+#endif // JETTY_EXPERIMENTS_EXPERIMENTS_HH

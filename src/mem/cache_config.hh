@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structural configuration of the two-level per-processor hierarchy.
+ * Defaults reproduce the paper's SPARC-like base system: 64 KB
+ * direct-mapped L1 with 32 B lines; 1 MB direct-mapped L2 with 64 B blocks
+ * of two 32 B subblocks; MOESI at subblock level; L2 supersets L1.
+ */
+
+#ifndef JETTY_MEM_CACHE_CONFIG_HH
+#define JETTY_MEM_CACHE_CONFIG_HH
+
+#include <cstdint>
+
+#include "util/bits.hh"
+#include "util/types.hh"
+
+namespace jetty::mem
+{
+
+/** L1 data cache organization. */
+struct L1Config
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 1;
+    unsigned blockBytes = 32;
+
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) * assoc);
+    }
+};
+
+/** L2 cache organization. */
+struct L2Config
+{
+    std::uint64_t sizeBytes = 1024 * 1024;
+    unsigned assoc = 1;
+    unsigned blockBytes = 64;
+    unsigned subblocks = 2;  //!< coherence units per block (1 = no subblocking)
+
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) * assoc);
+    }
+
+    /** Coherence-unit size in bytes. */
+    unsigned unitBytes() const { return blockBytes / subblocks; }
+};
+
+} // namespace jetty::mem
+
+#endif // JETTY_MEM_CACHE_CONFIG_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Observer interface through which the L2 announces coherence-unit fills
+ * and evictions/invalidations. The JETTY filter bank subscribes to keep
+ * Include-JETTY counters coherent and to clear Exclude-JETTY entries; the
+ * paper notes this replacement information is available for free at the L2
+ * and reaches the JETTY over a dedicated tag-sized wire bundle.
+ */
+
+#ifndef JETTY_MEM_CACHE_EVENTS_HH
+#define JETTY_MEM_CACHE_EVENTS_HH
+
+#include "util/types.hh"
+
+namespace jetty::mem
+{
+
+/** Receives L2 content-change notifications (coherence-unit granular). */
+class CacheEventListener
+{
+  public:
+    virtual ~CacheEventListener() = default;
+
+    /** A coherence unit became valid in the L2. @p unitAddr is aligned. */
+    virtual void unitFilled(Addr unitAddr) = 0;
+
+    /** A coherence unit left the L2 (eviction or snoop invalidation). */
+    virtual void unitEvicted(Addr unitAddr) = 0;
+};
+
+} // namespace jetty::mem
+
+#endif // JETTY_MEM_CACHE_EVENTS_HH

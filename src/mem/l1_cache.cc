@@ -1,0 +1,156 @@
+#include "mem/l1_cache.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::mem
+{
+
+L1Cache::L1Cache(const L1Config &cfg) : cfg_(cfg)
+{
+    if (!isPowerOfTwo(cfg.sizeBytes) || !isPowerOfTwo(cfg.blockBytes) ||
+        !isPowerOfTwo(cfg.assoc)) {
+        fatal("L1Cache: all geometry parameters must be powers of two");
+    }
+    const std::uint64_t sets = cfg.sets();
+    if (sets == 0)
+        fatal("L1Cache: size too small for block/assoc");
+
+    lineMask_ = cfg.blockBytes - 1;
+    offsetBits_ = floorLog2(cfg.blockBytes);
+    indexBits_ = floorLog2(sets);
+
+    ways_.resize(cfg.assoc);
+    for (auto &w : ways_)
+        w.resize(sets);
+}
+
+std::uint64_t
+L1Cache::setIndex(Addr a) const
+{
+    return bitField(a, offsetBits_, indexBits_);
+}
+
+Addr
+L1Cache::tagOf(Addr a) const
+{
+    return a >> (offsetBits_ + indexBits_);
+}
+
+int
+L1Cache::findWay(Addr a) const
+{
+    const std::uint64_t set = setIndex(a);
+    const Addr tag = tagOf(a);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = ways_[w][set];
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+L1LookupResult
+L1Cache::probe(Addr addr) const
+{
+    L1LookupResult res;
+    const int w = findWay(addr);
+    if (w < 0)
+        return res;
+    const Line &l = ways_[w][setIndex(addr)];
+    res.hit = true;
+    res.writable = l.writable;
+    res.dirty = l.dirty;
+    return res;
+}
+
+void
+L1Cache::touch(Addr addr)
+{
+    const int w = findWay(addr);
+    if (w >= 0)
+        ways_[w][setIndex(addr)].lastUse = ++useClock_;
+}
+
+void
+L1Cache::markDirty(Addr addr)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        panic("L1Cache::markDirty on absent line");
+    Line &l = ways_[w][setIndex(addr)];
+    if (!l.writable)
+        panic("L1Cache::markDirty on non-writable line");
+    l.dirty = true;
+}
+
+void
+L1Cache::setWritable(Addr addr, bool writable)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        panic("L1Cache::setWritable on absent line");
+    ways_[w][setIndex(addr)].writable = writable;
+}
+
+void
+L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
+{
+    victim = L1Victim{};
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    if (findWay(addr) >= 0)
+        panic("L1Cache::fill of an already-present line");
+
+    int target = -1;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!ways_[w][set].valid) {
+            target = static_cast<int>(w);
+            break;
+        }
+    }
+    if (target < 0) {
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (ways_[w][set].lastUse < oldest) {
+                oldest = ways_[w][set].lastUse;
+                target = static_cast<int>(w);
+            }
+        }
+    }
+
+    Line &l = ways_[target][set];
+    if (l.valid) {
+        victim.valid = true;
+        victim.dirty = l.dirty;
+        victim.lineAddr =
+            (l.tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
+        --validLines_;
+    }
+    l.valid = true;
+    l.tag = tag;
+    l.writable = writable;
+    l.dirty = false;
+    l.lastUse = ++useClock_;
+    ++validLines_;
+}
+
+bool
+L1Cache::invalidate(Addr addr)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        return false;
+    Line &l = ways_[w][setIndex(addr)];
+    const bool was_dirty = l.dirty;
+    l.valid = false;
+    l.dirty = false;
+    l.writable = false;
+    --validLines_;
+    return was_dirty;
+}
+
+} // namespace jetty::mem

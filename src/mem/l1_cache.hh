@@ -1,0 +1,103 @@
+/**
+ * @file
+ * L1 data cache: set-associative, write-back, write-allocate, with lines
+ * equal to the L2 coherence unit (32 B in the base system). The L1 carries
+ * no coherence state of its own; it mirrors presence plus a "writable"
+ * permission bit derived from the L2's MOESI state, and the inclusion
+ * property (L2 superset of L1) is enforced by the owning processor node.
+ */
+
+#ifndef JETTY_MEM_L1_CACHE_HH
+#define JETTY_MEM_L1_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_config.hh"
+#include "util/types.hh"
+
+namespace jetty::mem
+{
+
+/** Result of an L1 lookup. */
+struct L1LookupResult
+{
+    bool hit = false;       //!< line present
+    bool writable = false;  //!< line may be written without L2 help
+    bool dirty = false;     //!< line holds unwritten-back data
+};
+
+/** A dirty line displaced by an L1 fill; must be written back to L2. */
+struct L1Victim
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+};
+
+/** Tag/flag store of the L1 data cache (LRU replacement). */
+class L1Cache
+{
+  public:
+    explicit L1Cache(const L1Config &cfg);
+
+    /** Line-align an address. */
+    Addr lineAlign(Addr a) const { return a & ~lineMask_; }
+
+    /** Probe without side effects. */
+    L1LookupResult probe(Addr addr) const;
+
+    /** Update LRU for a hit on @p addr's line. */
+    void touch(Addr addr);
+
+    /** Mark the (present) line dirty after a permitted write. */
+    void markDirty(Addr addr);
+
+    /** Grant write permission to the (present) line. */
+    void setWritable(Addr addr, bool writable);
+
+    /**
+     * Allocate the line for @p addr, returning the displaced line (if any)
+     * through @p victim. The caller writes dirty victims back to L2.
+     */
+    void fill(Addr addr, bool writable, L1Victim &victim);
+
+    /**
+     * Invalidate @p addr's line if present (inclusion enforcement).
+     * @return true when the invalidated line was dirty (its data must be
+     *         merged into the L2 before the unit leaves the hierarchy).
+     */
+    bool invalidate(Addr addr);
+
+    /** Number of valid lines (for invariant checks). */
+    std::uint64_t validLines() const { return validLines_; }
+
+    /** The configuration this cache was built with. */
+    const L1Config &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool writable = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr a) const;
+    Addr tagOf(Addr a) const;
+    int findWay(Addr a) const;
+
+    L1Config cfg_;
+    std::vector<std::vector<Line>> ways_;
+    std::uint64_t lineMask_;
+    unsigned offsetBits_;
+    unsigned indexBits_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t validLines_ = 0;
+};
+
+} // namespace jetty::mem
+
+#endif // JETTY_MEM_L1_CACHE_HH

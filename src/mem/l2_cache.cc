@@ -1,0 +1,247 @@
+#include "mem/l2_cache.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::mem
+{
+
+using coherence::BusOp;
+using coherence::SnoopOutcome;
+using coherence::State;
+
+L2Cache::L2Cache(const L2Config &cfg) : cfg_(cfg)
+{
+    if (!isPowerOfTwo(cfg.sizeBytes) || !isPowerOfTwo(cfg.blockBytes) ||
+        !isPowerOfTwo(cfg.assoc) || !isPowerOfTwo(cfg.subblocks)) {
+        fatal("L2Cache: all geometry parameters must be powers of two");
+    }
+    if (cfg.subblocks == 0 || cfg.blockBytes % cfg.subblocks != 0)
+        fatal("L2Cache: subblocks must evenly divide the block");
+
+    const std::uint64_t sets = cfg.sets();
+    if (sets == 0)
+        fatal("L2Cache: size too small for block/assoc");
+
+    blockMask_ = cfg.blockBytes - 1;
+    unitMask_ = cfg.unitBytes() - 1;
+    offsetBits_ = floorLog2(cfg.blockBytes);
+    indexBits_ = floorLog2(sets);
+
+    ways_.resize(cfg.assoc);
+    for (auto &way : ways_) {
+        way.blocks.resize(sets);
+        for (auto &b : way.blocks)
+            b.units.assign(cfg.subblocks, State::Invalid);
+    }
+}
+
+void
+L2Cache::addListener(CacheEventListener *listener)
+{
+    listeners_.push_back(listener);
+}
+
+std::uint64_t
+L2Cache::setIndex(Addr a) const
+{
+    return bitField(a, offsetBits_, indexBits_);
+}
+
+Addr
+L2Cache::tagOf(Addr a) const
+{
+    return a >> (offsetBits_ + indexBits_);
+}
+
+unsigned
+L2Cache::unitIndex(Addr a) const
+{
+    return static_cast<unsigned>(bitField(a, floorLog2(cfg_.unitBytes()),
+                                          floorLog2(cfg_.subblocks) == 0
+                                              ? 0
+                                              : floorLog2(cfg_.subblocks)));
+}
+
+Addr
+L2Cache::unitAddrOf(const Block &b, std::uint64_t set, unsigned unit) const
+{
+    const Addr block_addr =
+        (b.tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
+    return block_addr + static_cast<Addr>(unit) * cfg_.unitBytes();
+}
+
+int
+L2Cache::findWay(Addr a) const
+{
+    const std::uint64_t set = setIndex(a);
+    const Addr tag = tagOf(a);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const Block &b = ways_[w].blocks[set];
+        if (b.valid && b.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+L2LookupResult
+L2Cache::probe(Addr addr) const
+{
+    L2LookupResult res;
+    const int w = findWay(addr);
+    if (w < 0)
+        return res;
+    res.tagMatch = true;
+    const Block &b = ways_[w].blocks[setIndex(addr)];
+    const State s = b.units[unitIndex(addr)];
+    res.unitValid = coherence::isValid(s);
+    res.state = s;
+    return res;
+}
+
+bool
+L2Cache::hasBlock(Addr addr) const
+{
+    return findWay(addr) >= 0;
+}
+
+void
+L2Cache::touch(Addr addr)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        return;
+    ways_[w].blocks[setIndex(addr)].lastUse = ++useClock_;
+}
+
+void
+L2Cache::setState(Addr addr, State next)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        panic("L2Cache::setState on absent block");
+    Block &b = ways_[w].blocks[setIndex(addr)];
+    State &s = b.units[unitIndex(addr)];
+    if (!coherence::isValid(s))
+        panic("L2Cache::setState on invalid unit");
+    if (!coherence::isValid(next))
+        panic("L2Cache::setState cannot invalidate; use snoop/invalidate");
+    s = next;
+}
+
+bool
+L2Cache::fill(Addr addr, State state, std::vector<L2Victim> &victims)
+{
+    assert(coherence::isValid(state));
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const unsigned unit = unitIndex(addr);
+
+    int w = findWay(addr);
+    bool evicted = false;
+
+    if (w < 0) {
+        // Choose a victim way: an invalid one if possible, else LRU.
+        int victim = -1;
+        for (unsigned i = 0; i < cfg_.assoc; ++i) {
+            if (!ways_[i].blocks[set].valid) {
+                victim = static_cast<int>(i);
+                break;
+            }
+        }
+        if (victim < 0) {
+            std::uint64_t oldest = ~std::uint64_t{0};
+            for (unsigned i = 0; i < cfg_.assoc; ++i) {
+                const Block &b = ways_[i].blocks[set];
+                if (b.lastUse < oldest) {
+                    oldest = b.lastUse;
+                    victim = static_cast<int>(i);
+                }
+            }
+        }
+
+        Block &b = ways_[victim].blocks[set];
+        if (b.valid) {
+            evicted = true;
+            for (unsigned u = 0; u < cfg_.subblocks; ++u) {
+                if (coherence::isValid(b.units[u])) {
+                    const Addr ua = unitAddrOf(b, set, u);
+                    victims.push_back({ua, b.units[u]});
+                    b.units[u] = State::Invalid;
+                    --validUnits_;
+                    notifyEvict(ua);
+                }
+            }
+        }
+        b.valid = true;
+        b.tag = tag;
+        for (auto &u : b.units)
+            u = State::Invalid;
+        w = victim;
+    }
+
+    Block &b = ways_[w].blocks[set];
+    b.lastUse = ++useClock_;
+    State &s = b.units[unit];
+    if (coherence::isValid(s))
+        panic("L2Cache::fill into an already-valid unit");
+    s = state;
+    ++validUnits_;
+    notifyFill(unitAlign(addr));
+    return evicted;
+}
+
+SnoopOutcome
+L2Cache::snoop(Addr addr, BusOp op)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        return SnoopOutcome{};
+
+    Block &b = ways_[w].blocks[setIndex(addr)];
+    const unsigned unit = unitIndex(addr);
+    const State cur = b.units[unit];
+    const SnoopOutcome out = coherence::snoopTransition(cur, op);
+
+    if (out.next != cur) {
+        b.units[unit] = out.next;
+        if (coherence::isValid(cur) && !coherence::isValid(out.next)) {
+            --validUnits_;
+            notifyEvict(unitAlign(addr));
+        }
+    }
+    return out;
+}
+
+void
+L2Cache::invalidateUnit(Addr addr)
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        return;
+    Block &b = ways_[w].blocks[setIndex(addr)];
+    State &s = b.units[unitIndex(addr)];
+    if (coherence::isValid(s)) {
+        s = State::Invalid;
+        --validUnits_;
+        notifyEvict(unitAlign(addr));
+    }
+}
+
+void
+L2Cache::notifyFill(Addr unitAddr)
+{
+    for (auto *l : listeners_)
+        l->unitFilled(unitAddr);
+}
+
+void
+L2Cache::notifyEvict(Addr unitAddr)
+{
+    for (auto *l : listeners_)
+        l->unitEvicted(unitAddr);
+}
+
+} // namespace jetty::mem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Subblocked, set-associative L2 cache with per-subblock MOESI state.
+ *
+ * This is the structure the JETTY protects: every snoop that is not
+ * filtered probes this cache's tag array. The cache is purely functional
+ * (tags + states, no data payloads) because the experiments only need
+ * access/hit/miss/supply event streams for coverage and energy accounting.
+ */
+
+#ifndef JETTY_MEM_L2_CACHE_HH
+#define JETTY_MEM_L2_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coherence/moesi.hh"
+#include "mem/cache_config.hh"
+#include "mem/cache_events.hh"
+#include "util/types.hh"
+
+namespace jetty::mem
+{
+
+/** Result of a local L2 lookup for one coherence unit. */
+struct L2LookupResult
+{
+    bool tagMatch = false;    //!< the block's tag is present
+    bool unitValid = false;   //!< the requested subblock is valid
+    coherence::State state = coherence::State::Invalid;
+};
+
+/** A victim produced by a block-granularity L2 eviction. */
+struct L2Victim
+{
+    Addr unitAddr = 0;                //!< coherence-unit address
+    coherence::State state = coherence::State::Invalid;
+};
+
+/**
+ * Tag/state store of the subblocked L2. Replacement within a set is LRU.
+ * Inclusion bookkeeping (invalidating L1 copies) is the owner's job; the
+ * cache reports everything it evicts or invalidates through both its
+ * return values and the CacheEventListener chain.
+ */
+class L2Cache
+{
+  public:
+    explicit L2Cache(const L2Config &cfg);
+
+    /** Register an observer of fill/evict events (e.g., the filter bank). */
+    void addListener(CacheEventListener *listener);
+
+    /** Coherence-unit-align an address. */
+    Addr unitAlign(Addr a) const { return a & ~unitMask_; }
+
+    /** Block-align an address. */
+    Addr blockAlign(Addr a) const { return a & ~blockMask_; }
+
+    /**
+     * Probe the cache for the unit containing @p addr without changing any
+     * state (used for lookups, ground truth, and snoop queries).
+     */
+    L2LookupResult probe(Addr addr) const;
+
+    /** True when any unit of the block containing @p addr is valid; used
+     *  to size up what a snoop tag probe would find. */
+    bool hasBlock(Addr addr) const;
+
+    /** Update LRU for a local access that hit the block of @p addr. */
+    void touch(Addr addr);
+
+    /**
+     * Set the state of an already-present unit (upgrade, downgrade);
+     * the unit must be valid.
+     */
+    void setState(Addr addr, coherence::State next);
+
+    /**
+     * Allocate (if needed) the block containing @p addr and fill its unit
+     * with @p state. When a block must be evicted to make room, all of its
+     * valid units are returned in @p victims (dirty ones must be written
+     * back by the caller) and announced to listeners.
+     *
+     * @return true when a block-level eviction happened.
+     */
+    bool fill(Addr addr, coherence::State state,
+              std::vector<L2Victim> &victims);
+
+    /**
+     * Apply a snoop to the unit containing @p addr and return the outcome.
+     * Invalidation outcomes are announced to listeners. The caller decides
+     * whether to probe at all (JETTY filtering happens outside).
+     */
+    coherence::SnoopOutcome snoop(Addr addr, coherence::BusOp op);
+
+    /** Invalidate one unit (e.g., inclusion forcing). No-op when absent. */
+    void invalidateUnit(Addr addr);
+
+    /** Count of currently valid coherence units (for invariant checks). */
+    std::uint64_t validUnits() const { return validUnits_; }
+
+    /** The configuration this cache was built with. */
+    const L2Config &config() const { return cfg_; }
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        std::vector<coherence::State> units;
+    };
+
+    struct Way
+    {
+        std::vector<Block> blocks;  //!< one per set
+    };
+
+    std::uint64_t setIndex(Addr a) const;
+    Addr tagOf(Addr a) const;
+    unsigned unitIndex(Addr a) const;
+    Addr unitAddrOf(const Block &b, std::uint64_t set, unsigned unit) const;
+
+    /** Find the way holding the block of @p a, or -1. */
+    int findWay(Addr a) const;
+
+    void notifyFill(Addr unitAddr);
+    void notifyEvict(Addr unitAddr);
+
+    L2Config cfg_;
+    std::vector<Way> ways_;
+    std::uint64_t blockMask_;
+    std::uint64_t unitMask_;
+    unsigned offsetBits_;
+    unsigned indexBits_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t validUnits_ = 0;
+    std::vector<CacheEventListener *> listeners_;
+};
+
+} // namespace jetty::mem
+
+#endif // JETTY_MEM_L2_CACHE_HH

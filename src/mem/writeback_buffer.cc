@@ -1,0 +1,51 @@
+#include "mem/writeback_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace jetty::mem
+{
+
+void
+WritebackBuffer::push(const WbEntry &e)
+{
+    if (!hasRoom())
+        panic("WritebackBuffer::push without room");
+    entries_.push_back(e);
+}
+
+WbEntry
+WritebackBuffer::pop()
+{
+    if (entries_.empty())
+        panic("WritebackBuffer::pop on empty buffer");
+    WbEntry e = entries_.front();
+    entries_.pop_front();
+    return e;
+}
+
+bool
+WritebackBuffer::contains(Addr unitAddr) const
+{
+    for (const auto &e : entries_) {
+        if (e.unitAddr == unitAddr)
+            return true;
+    }
+    return false;
+}
+
+WbEntry
+WritebackBuffer::take(Addr unitAddr, bool &found)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->unitAddr == unitAddr) {
+            WbEntry e = *it;
+            entries_.erase(it);
+            found = true;
+            return e;
+        }
+    }
+    found = false;
+    return WbEntry{};
+}
+
+} // namespace jetty::mem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bus-side write-back buffer. Dirty coherence units evicted from the L2
+ * wait here until the bus drains them to memory. Snoops always probe the
+ * buffer (the JETTY never filters it -- the paper points out the WB array
+ * is tiny compared to the L2 tags, so probing it is cheap), and a
+ * processor's own miss may reclaim an in-flight victim.
+ */
+
+#ifndef JETTY_MEM_WRITEBACK_BUFFER_HH
+#define JETTY_MEM_WRITEBACK_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "coherence/moesi.hh"
+#include "util/types.hh"
+
+namespace jetty::mem
+{
+
+/** One dirty coherence unit awaiting its memory update. */
+struct WbEntry
+{
+    Addr unitAddr = 0;
+    coherence::State state = coherence::State::Invalid;
+};
+
+/** FIFO write-back buffer of bounded capacity. */
+class WritebackBuffer
+{
+  public:
+    /** @param capacity maximum in-flight victims (paper-era systems use a
+     *  handful; we default to 8). */
+    explicit WritebackBuffer(unsigned capacity = 8) : capacity_(capacity) {}
+
+    /** True when another victim can be accepted without draining. */
+    bool hasRoom() const { return entries_.size() < capacity_; }
+
+    /** True when no victims are pending. */
+    bool empty() const { return entries_.empty(); }
+
+    /** Number of pending victims. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Buffer capacity. */
+    unsigned capacity() const { return capacity_; }
+
+    /** Enqueue a victim; the caller must ensure room (drain first). */
+    void push(const WbEntry &e);
+
+    /** Drain the oldest victim (caller issues the memory write). */
+    WbEntry pop();
+
+    /** Snoop probe: does the buffer hold @p unitAddr? */
+    bool contains(Addr unitAddr) const;
+
+    /**
+     * Remove and return the entry for @p unitAddr (reclaim by the owner,
+     * or invalidation by a remote BusReadX after the buffer supplied
+     * data). @p found reports whether it existed.
+     */
+    WbEntry take(Addr unitAddr, bool &found);
+
+  private:
+    std::deque<WbEntry> entries_;
+    unsigned capacity_;
+};
+
+} // namespace jetty::mem
+
+#endif // JETTY_MEM_WRITEBACK_BUFFER_HH

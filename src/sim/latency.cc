@@ -1,0 +1,45 @@
+#include "sim/latency.hh"
+
+namespace jetty::sim
+{
+
+double
+LatencyImpact::meanChangePct() const
+{
+    if (baselineMeanCycles <= 0)
+        return 0.0;
+    return 100.0 * (jettyMeanCycles - baselineMeanCycles) /
+           baselineMeanCycles;
+}
+
+double
+LatencyImpact::worstCaseBusCycleFraction(const LatencyParams &p) const
+{
+    return worstCaseAddedCycles / p.busClockRatio;
+}
+
+LatencyImpact
+evaluateLatency(const filter::FilterStats &stats, const LatencyParams &p)
+{
+    LatencyImpact impact;
+    impact.baselineMeanCycles = p.l2TagCycles;
+    impact.worstCaseAddedCycles = p.jettyCycles;
+
+    if (stats.probes == 0) {
+        impact.jettyMeanCycles = p.l2TagCycles;
+        return impact;
+    }
+
+    const double filtered_frac =
+        static_cast<double>(stats.filtered) /
+        static_cast<double>(stats.probes);
+
+    // Filtered snoops answer after the JETTY alone; the rest pay the
+    // serial JETTY probe plus the tag probe.
+    impact.jettyMeanCycles =
+        filtered_frac * p.jettyCycles +
+        (1.0 - filtered_frac) * (p.jettyCycles + p.l2TagCycles);
+    return impact;
+}
+
+} // namespace jetty::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Snoop-latency impact model, backing Section 2.2's argument that JETTY
+ * adds no meaningful latency: the filter is probed in series with the L2
+ * tags, so an *unfiltered* snoop pays one extra JETTY latency, while a
+ * *filtered* snoop is answered by the JETTY itself, far sooner than the
+ * tag array would have answered. Because state-of-the-art snoopy buses
+ * run several times slower than processors, even the worst case is a
+ * small fraction of a bus cycle.
+ *
+ * The model is analytic over run statistics (the coherence simulation is
+ * functional); it reports the change in mean snoop-response latency and
+ * normalizes it against the bus clock.
+ */
+
+#ifndef JETTY_SIM_LATENCY_HH
+#define JETTY_SIM_LATENCY_HH
+
+#include <cstdint>
+
+#include "core/filter_bank.hh"
+
+namespace jetty::sim
+{
+
+/** Latency parameters, in processor cycles (paper Section 2.2: a JETTY
+ *  probe is register-file-like, a fraction of a cycle; a sizeable L2 tag
+ *  probe takes several cycles; buses run 4-10x slower than cores). */
+struct LatencyParams
+{
+    double jettyCycles = 0.5;   //!< JETTY probe (8-ported 32x32 RF scale)
+    double l2TagCycles = 12.0;  //!< L2 tag array probe
+    double busClockRatio = 6.0; //!< processor cycles per bus cycle
+};
+
+/** Latency impact of one filter configuration over one run. */
+struct LatencyImpact
+{
+    double baselineMeanCycles = 0;  //!< mean snoop response, no JETTY
+    double jettyMeanCycles = 0;     //!< mean snoop response, with JETTY
+    double worstCaseAddedCycles = 0;  //!< per unfiltered snoop
+
+    /** Relative change of the mean snoop response time (negative =
+     *  faster, because filtered snoops answer early). */
+    double meanChangePct() const;
+
+    /** Worst-case addition as a fraction of one bus cycle. */
+    double worstCaseBusCycleFraction(const LatencyParams &p) const;
+};
+
+/**
+ * Evaluate the latency impact of a filter given its run statistics.
+ * Every snoop is answered after the tag probe in the baseline; with a
+ * JETTY, filtered snoops are answered after the JETTY probe alone and
+ * unfiltered snoops after JETTY + tags (serial placement).
+ */
+LatencyImpact evaluateLatency(const filter::FilterStats &stats,
+                              const LatencyParams &params = LatencyParams{});
+
+} // namespace jetty::sim
+
+#endif // JETTY_SIM_LATENCY_HH

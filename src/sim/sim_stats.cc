@@ -1,0 +1,45 @@
+#include "sim/sim_stats.hh"
+
+namespace jetty::sim
+{
+
+void
+ProcStats::merge(const ProcStats &o)
+{
+    accesses += o.accesses;
+    reads += o.reads;
+    writes += o.writes;
+    l1Hits += o.l1Hits;
+    l1Misses += o.l1Misses;
+    l1Writebacks += o.l1Writebacks;
+    l1SnoopInvalidations += o.l1SnoopInvalidations;
+    l2LocalAccesses += o.l2LocalAccesses;
+    l2LocalHits += o.l2LocalHits;
+    l2Fills += o.l2Fills;
+    l2Evictions += o.l2Evictions;
+    upgradesSilent += o.upgradesSilent;
+    busReads += o.busReads;
+    busReadXs += o.busReadXs;
+    busUpgrades += o.busUpgrades;
+    busWritebacks += o.busWritebacks;
+    snoopTagProbes += o.snoopTagProbes;
+    snoopHits += o.snoopHits;
+    snoopMisses += o.snoopMisses;
+    snoopSupplies += o.snoopSupplies;
+    wbInsertions += o.wbInsertions;
+    wbSnoopsHit += o.wbSnoopsHit;
+    wbReclaims += o.wbReclaims;
+    wbDrains += o.wbDrains;
+    traffic.merge(o.traffic);
+}
+
+ProcStats
+SimStats::aggregate() const
+{
+    ProcStats all;
+    for (const auto &p : procs)
+        all.merge(p);
+    return all;
+}
+
+} // namespace jetty::sim

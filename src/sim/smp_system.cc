@@ -1,0 +1,368 @@
+#include "sim/smp_system.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::sim
+{
+
+using coherence::BusOp;
+using coherence::BusResponse;
+using coherence::State;
+
+filter::AddressMap
+SmpConfig::addressMap() const
+{
+    filter::AddressMap amap;
+    amap.unitOffsetBits = floorLog2(l2.unitBytes());
+    amap.blockOffsetBits = floorLog2(l2.blockBytes);
+    amap.physAddrBits = physAddrBits;
+    amap.l2CapacityUnits = l2.sizeBytes / l2.unitBytes();
+    return amap;
+}
+
+SmpSystem::SmpSystem(const SmpConfig &cfg)
+    : cfg_(cfg), stats_(cfg.nprocs)
+{
+    if (cfg.nprocs < 2)
+        fatal("SmpSystem: an SMP needs at least two processors");
+    if (cfg.l1.blockBytes != cfg.l2.unitBytes())
+        fatal("SmpSystem: the L1 line must equal the L2 coherence unit");
+
+    const filter::AddressMap amap = cfg.addressMap();
+    for (unsigned p = 0; p < cfg.nprocs; ++p) {
+        auto node = std::make_unique<Node>();
+        node->l1 = std::make_unique<mem::L1Cache>(cfg.l1);
+        node->l2 = std::make_unique<mem::L2Cache>(cfg.l2);
+        node->wb = std::make_unique<mem::WritebackBuffer>(cfg.wbEntries);
+        node->bank = std::make_unique<filter::FilterBank>(
+            cfg.filterSpecs, amap, cfg.checkSafety);
+        node->l2->addListener(node->bank.get());
+        nodes_.push_back(std::move(node));
+    }
+}
+
+void
+SmpSystem::attachSources(std::vector<trace::TraceSourcePtr> sources)
+{
+    if (sources.size() != nodes_.size())
+        fatal("SmpSystem::attachSources: need one source per processor");
+    for (unsigned p = 0; p < nodes_.size(); ++p) {
+        nodes_[p]->source = std::move(sources[p]);
+        nodes_[p]->sourceDone = nodes_[p]->source == nullptr;
+    }
+}
+
+bool
+SmpSystem::step()
+{
+    bool any = false;
+    for (unsigned p = 0; p < nodes_.size(); ++p) {
+        Node &node = *nodes_[p];
+        if (node.sourceDone)
+            continue;
+        trace::TraceRecord rec;
+        if (!node.source->next(rec)) {
+            node.sourceDone = true;
+            continue;
+        }
+        any = true;
+        processorAccess(p, rec.type, rec.addr);
+    }
+    return any;
+}
+
+void
+SmpSystem::run()
+{
+    while (step()) {
+    }
+}
+
+const filter::FilterBank &
+SmpSystem::bank(ProcId p) const
+{
+    return *nodes_.at(p)->bank;
+}
+
+filter::FilterStats
+SmpSystem::mergedFilterStats(std::size_t filterIdx) const
+{
+    filter::FilterStats merged;
+    for (const auto &node : nodes_)
+        merged.merge(node->bank->statsAt(filterIdx));
+    return merged;
+}
+
+energy::L2Traffic
+SmpSystem::mergedTraffic() const
+{
+    energy::L2Traffic t;
+    for (const auto &p : stats_.procs)
+        t.merge(p.traffic);
+    return t;
+}
+
+void
+SmpSystem::enforceInclusion(ProcId p, Addr unitAddr)
+{
+    Node &node = *nodes_[p];
+    // An L1 line equals one coherence unit, so a single invalidate covers
+    // it. Dirty L1 data conceptually merges into the departing unit; the
+    // victim is already dirty (M/O) whenever the L1 line could be dirty.
+    if (node.l1->invalidate(unitAddr))
+        ++stats_.procs[p].l1SnoopInvalidations;
+}
+
+BusResponse
+SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
+{
+    BusResponse resp;
+    ++stats_.snoopTransactions;
+
+    for (unsigned q = 0; q < nodes_.size(); ++q) {
+        if (q == requester)
+            continue;
+        Node &node = *nodes_[q];
+        ProcStats &qs = stats_.procs[q];
+
+        bool copy_here = false;
+
+        // 1. The write-back buffer is always snooped (never filtered).
+        if (node.wb->contains(unitAddr)) {
+            copy_here = true;
+            ++qs.wbSnoopsHit;
+            resp.suppliedByCache = true;
+            if (op == BusOp::BusReadX || op == BusOp::BusUpgrade) {
+                // The requester takes ownership: the pending memory
+                // update is obsolete.
+                bool found = false;
+                node.wb->take(unitAddr, found);
+                assert(found);
+            }
+        }
+
+        // 2. The JETTY bank observes the snoop with L2 ground truth
+        //    *before* any state transition.
+        const auto probe_res = node.l2->probe(unitAddr);
+        node.bank->observeSnoop(unitAddr, probe_res.unitValid,
+                                probe_res.tagMatch);
+
+        // 3. The L2 tag array is probed (a JETTY saves this energy for
+        //    filtered snoops; the accountant subtracts it per filter).
+        ++qs.snoopTagProbes;
+        ++qs.traffic.snoopTagProbes;
+
+        const State before = node.l2->probe(unitAddr).state;
+        const auto outcome = node.l2->snoop(unitAddr, op);
+        if (outcome.hadCopy) {
+            copy_here = true;
+            ++qs.snoopHits;
+            if (outcome.supplied) {
+                ++qs.snoopSupplies;
+                resp.suppliedByCache = true;
+                ++qs.traffic.snoopDataReads;
+            }
+            if (outcome.next != before)
+                ++qs.traffic.snoopTagUpdates;
+            // Inclusion: purge the L1 copy whenever the unit leaves or
+            // loses exclusivity (the only cases where the L1 could hold
+            // stale permissions or newer data).
+            if (!coherence::isValid(outcome.next) ||
+                coherence::isWritable(before)) {
+                enforceInclusion(q, unitAddr);
+            }
+        } else {
+            ++qs.snoopMisses;
+        }
+
+        if (copy_here)
+            ++resp.remoteCopies;
+    }
+
+    stats_.remoteHits.sample(resp.remoteCopies);
+    return resp;
+}
+
+void
+SmpSystem::pushVictim(ProcId p, const mem::L2Victim &victim)
+{
+    Node &node = *nodes_[p];
+    ProcStats &ps = stats_.procs[p];
+
+    if (!coherence::isDirty(victim.state))
+        return;  // clean units vanish silently (memory is current)
+
+    if (!node.wb->hasRoom()) {
+        // Forced drain: the oldest victim goes to memory over the bus.
+        node.wb->pop();
+        ++ps.wbDrains;
+        ++ps.busWritebacks;
+    }
+    node.wb->push({victim.unitAddr, victim.state});
+    ++ps.wbInsertions;
+}
+
+coherence::State
+SmpSystem::fetchUnit(ProcId p, Addr unitAddr, bool forWrite)
+{
+    Node &node = *nodes_[p];
+    ProcStats &ps = stats_.procs[p];
+
+    // Reclaim from the local write-back buffer when possible: the victim
+    // never left the chip, so no bus transaction is needed for data.
+    bool in_wb = false;
+    mem::WbEntry wb_entry = node.wb->take(unitAddr, in_wb);
+    State fill_state;
+
+    if (in_wb) {
+        ++ps.wbReclaims;
+        fill_state = wb_entry.state;
+        if (forWrite && !coherence::isWritable(fill_state)) {
+            // An Owned victim may still be shared elsewhere: upgrade.
+            broadcast(p, BusOp::BusUpgrade, unitAddr);
+            ++ps.busUpgrades;
+            fill_state = State::Modified;
+        }
+    } else {
+        const BusOp op = forWrite ? BusOp::BusReadX : BusOp::BusRead;
+        const BusResponse resp = broadcast(p, op, unitAddr);
+        if (op == BusOp::BusRead)
+            ++ps.busReads;
+        else
+            ++ps.busReadXs;
+        fill_state = coherence::fillState(op, resp.remoteCopies > 0);
+    }
+
+    // Install the unit; handle the displaced block, if any.
+    std::vector<mem::L2Victim> victims;
+    node.l2->fill(unitAddr, fill_state, victims);
+    ++ps.l2Fills;
+    ++ps.traffic.localTagUpdates;  // tag/state install
+    ++ps.traffic.localDataWrites;  // unit data written into the array
+    for (const auto &v : victims) {
+        ++ps.l2Evictions;
+        enforceInclusion(p, v.unitAddr);
+        pushVictim(p, v);
+    }
+    return fill_state;
+}
+
+void
+SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
+{
+    Node &node = *nodes_[p];
+    ProcStats &ps = stats_.procs[p];
+
+    ++ps.accesses;
+    if (type == AccessType::Read)
+        ++ps.reads;
+    else
+        ++ps.writes;
+
+    const Addr unit = node.l2->unitAlign(addr);
+
+    // ---- L1 ----
+    const auto l1_res = node.l1->probe(unit);
+    if (l1_res.hit && (type == AccessType::Read || l1_res.writable)) {
+        ++ps.l1Hits;
+        node.l1->touch(unit);
+        if (type == AccessType::Write)
+            node.l1->markDirty(unit);
+        return;
+    }
+
+    if (l1_res.hit) {
+        // Write hit on a non-writable line: obtain write permission.
+        ++ps.l1Hits;
+        node.l1->touch(unit);
+
+        ++ps.l2LocalAccesses;
+        ++ps.traffic.localTagProbes;
+        const auto l2_res = node.l2->probe(unit);
+        if (!l2_res.unitValid)
+            panic("inclusion violated: L1 line without L2 unit");
+        ++ps.l2LocalHits;
+        node.l2->touch(unit);
+
+        if (coherence::isWritable(l2_res.state)) {
+            if (l2_res.state == State::Exclusive) {
+                node.l2->setState(unit, State::Modified);
+                ++ps.upgradesSilent;
+                ++ps.traffic.localTagUpdates;
+            }
+        } else {
+            // Shared or Owned: invalidate the other copies.
+            broadcast(p, BusOp::BusUpgrade, unit);
+            ++ps.busUpgrades;
+            node.l2->setState(unit, State::Modified);
+            ++ps.traffic.localTagUpdates;
+        }
+        node.l1->setWritable(unit, true);
+        node.l1->markDirty(unit);
+        return;
+    }
+
+    // ---- L1 miss: go to the L2. ----
+    ++ps.l1Misses;
+    ++ps.l2LocalAccesses;
+    ++ps.traffic.localTagProbes;
+
+    const auto l2_res = node.l2->probe(unit);
+    State unit_state = l2_res.state;
+    bool l2_hit = l2_res.unitValid;
+
+    if (l2_hit && type == AccessType::Write &&
+        !coherence::isWritable(unit_state)) {
+        // Write to a Shared/Owned unit: upgrade first.
+        broadcast(p, BusOp::BusUpgrade, unit);
+        ++ps.busUpgrades;
+        node.l2->setState(unit, State::Modified);
+        ++ps.traffic.localTagUpdates;
+        unit_state = State::Modified;
+    }
+
+    if (l2_hit) {
+        ++ps.l2LocalHits;
+        node.l2->touch(unit);
+        if (type == AccessType::Write && unit_state == State::Exclusive) {
+            node.l2->setState(unit, State::Modified);
+            ++ps.upgradesSilent;
+            ++ps.traffic.localTagUpdates;
+            unit_state = State::Modified;
+        }
+        ++ps.traffic.localDataReads;  // unit handed to the L1
+    } else {
+        unit_state = fetchUnit(p, unit, type == AccessType::Write);
+    }
+
+    // ---- Fill the L1 (write-allocate). ----
+    mem::L1Victim victim;
+    node.l1->fill(unit, coherence::isWritable(unit_state), victim);
+    if (type == AccessType::Write)
+        node.l1->markDirty(unit);
+
+    if (victim.valid && victim.dirty) {
+        // Dirty L1 victim: write its data back into the L2 unit. By the
+        // inclusion invariant that unit is present and writable (M or E;
+        // E becomes M now that dirty data lands in it).
+        ++ps.l1Writebacks;
+        ++ps.l2LocalAccesses;
+        ++ps.traffic.localTagProbes;
+        const auto wb_res = node.l2->probe(victim.lineAddr);
+        if (!wb_res.unitValid)
+            panic("inclusion violated: dirty L1 victim without L2 unit");
+        ++ps.l2LocalHits;
+        if (wb_res.state == State::Exclusive) {
+            node.l2->setState(victim.lineAddr, State::Modified);
+            ++ps.traffic.localTagUpdates;
+        } else if (!coherence::isDirty(wb_res.state)) {
+            panic("dirty L1 victim over a non-writable L2 unit");
+        }
+        ++ps.traffic.localDataWrites;
+    }
+}
+
+} // namespace jetty::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The bus-based SMP system: N processor nodes (L1 + write-back buffer +
+ * subblocked MOESI L2 + JETTY filter bank) on an atomic snoopy bus with a
+ * memory behind it. Trace-driven: per-processor reference streams are
+ * interleaved round-robin, one reference per turn (a WWT2-style quantum).
+ *
+ * Filters are passive observers (DESIGN.md): each node carries a
+ * FilterBank whose configurations all see every snoop with ground truth,
+ * so one run scores every candidate JETTY and the energy accountant
+ * evaluates them afterwards.
+ */
+
+#ifndef JETTY_SIM_SMP_SYSTEM_HH
+#define JETTY_SIM_SMP_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/bus_txn.hh"
+#include "core/filter_bank.hh"
+#include "mem/cache_config.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_cache.hh"
+#include "mem/writeback_buffer.hh"
+#include "sim/sim_stats.hh"
+#include "trace/trace_source.hh"
+
+namespace jetty::sim
+{
+
+/** Configuration of the whole SMP. Defaults are the paper's base 4-way
+ *  SPARC-like system. */
+struct SmpConfig
+{
+    unsigned nprocs = 4;
+    mem::L1Config l1;
+    mem::L2Config l2;
+    unsigned wbEntries = 8;
+    unsigned physAddrBits = 40;
+
+    /** JETTY configurations every node evaluates in parallel. */
+    std::vector<std::string> filterSpecs;
+
+    /** Panic when a filter would have broken coherence (keep on). */
+    bool checkSafety = true;
+
+    /** Derive the filters' address-space facts. */
+    filter::AddressMap addressMap() const;
+};
+
+/** The simulated machine. */
+class SmpSystem
+{
+  public:
+    explicit SmpSystem(const SmpConfig &cfg);
+
+    /** Attach one reference stream per processor (size must match). */
+    void attachSources(std::vector<trace::TraceSourcePtr> sources);
+
+    /**
+     * One round-robin sweep: each processor with a live stream issues one
+     * reference. @return false once every stream is exhausted.
+     */
+    bool step();
+
+    /** Run until all streams are exhausted. */
+    void run();
+
+    /** Drive one reference directly (unit/integration tests). */
+    void processorAccess(ProcId p, AccessType type, Addr addr);
+
+    /** Gathered statistics. */
+    const SimStats &stats() const { return stats_; }
+
+    /** A node's filter bank (coverage stats per configuration). */
+    const filter::FilterBank &bank(ProcId p) const;
+
+    /** Coverage stats of filter @p filterIdx merged over all nodes. */
+    filter::FilterStats mergedFilterStats(std::size_t filterIdx) const;
+
+    /** L2 traffic merged over all nodes (energy denominator). */
+    energy::L2Traffic mergedTraffic() const;
+
+    /** Direct cache access for white-box tests. */
+    mem::L2Cache &l2(ProcId p) { return *nodes_[p]->l2; }
+    mem::L1Cache &l1(ProcId p) { return *nodes_[p]->l1; }
+    mem::WritebackBuffer &wb(ProcId p) { return *nodes_[p]->wb; }
+
+    /** The configuration the system was built with. */
+    const SmpConfig &config() const { return cfg_; }
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<mem::L1Cache> l1;
+        std::unique_ptr<mem::L2Cache> l2;
+        std::unique_ptr<mem::WritebackBuffer> wb;
+        std::unique_ptr<filter::FilterBank> bank;
+        trace::TraceSourcePtr source;
+        bool sourceDone = true;
+    };
+
+    /** Place a transaction on the bus: snoop all other nodes, count
+     *  remote copies, transition their states. */
+    coherence::BusResponse
+    broadcast(ProcId requester, coherence::BusOp op, Addr unitAddr);
+
+    /** Handle a local L2 miss for @p addr: WB reclaim or bus fetch plus
+     *  L2 (and victim) bookkeeping. Returns the unit's final L2 state. */
+    coherence::State
+    fetchUnit(ProcId p, Addr unitAddr, bool forWrite);
+
+    /** Make room in the WB, then insert a victim. */
+    void pushVictim(ProcId p, const mem::L2Victim &victim);
+
+    /** Invalidate the L1 line backing @p unitAddr (inclusion). */
+    void enforceInclusion(ProcId p, Addr unitAddr);
+
+    SmpConfig cfg_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    SimStats stats_;
+};
+
+} // namespace jetty::sim
+
+#endif // JETTY_SIM_SMP_SYSTEM_HH

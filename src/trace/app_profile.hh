@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Declarative description of a synthetic shared-memory application.
+ *
+ * The paper traces ten SPLASH-2-class applications with WWT2; we cannot
+ * run those binaries, so each application is replaced by a profile whose
+ * reference stream reproduces the *behavioural knobs* that drive JETTY:
+ * the split of misses between private and shared data, the kind of sharing
+ * (producer/consumer, migratory, read-only, widely shared, neighbour
+ * partitioned), working-set sizes relative to the 64 KB L1 / 1 MB L2, and
+ * word-level spatial/temporal locality. DESIGN.md records this
+ * substitution; EXPERIMENTS.md compares the resulting Table 2/3
+ * characteristics against the paper's.
+ */
+
+#ifndef JETTY_TRACE_APP_PROFILE_HH
+#define JETTY_TRACE_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jetty::trace
+{
+
+/** Behavioural class of one reference stream within an application. */
+enum class StreamKind : std::uint8_t
+{
+    /** Per-processor data nobody else touches: a resident part that fits
+     *  in the L2 and is reused, plus a streaming part that defeats it.
+     *  Misses from this stream snoop-miss in every remote cache. */
+    Private,
+
+    /** Ring producer/consumer buffers: each processor writes its own
+     *  buffer and reads its neighbour's, one epoch behind. Misses
+     *  typically find exactly one remote copy. */
+    ProducerConsumer,
+
+    /** Small objects whose read-modify-write ownership rotates around the
+     *  processors (lock-protected migratory data). */
+    Migratory,
+
+    /** A read-only region all processors browse (scene data, tree upper
+     *  levels). Misses may find copies in many remote caches. */
+    ReadShared,
+
+    /** Statically partitioned grid with boundary reads from the
+     *  neighbouring processor's partition (em3d/ocean-style). */
+    Neighbor,
+};
+
+/** One stream's parameters. Unused fields are ignored by other kinds. */
+struct StreamSpec
+{
+    StreamKind kind = StreamKind::Private;
+
+    /** Probability this stream supplies the next fresh reference. */
+    double weight = 1.0;
+
+    /** Region bytes (per processor for Private/ProducerConsumer/Neighbor;
+     *  total for Migratory/ReadShared). */
+    std::uint64_t bytes = 1 << 20;
+
+    /** Fraction of this stream's references that are writes. */
+    double writeFraction = 0.3;
+
+    /** Private: bytes of the L2-resident reuse set. */
+    std::uint64_t residentBytes = 256 * 1024;
+
+    /** Private: fraction of references going to the resident set. */
+    double residentFraction = 0.5;
+
+    /** Private: hot-spot skew of resident-set accesses (higher values
+     *  shrink the effective working set and raise L2 hit rates). */
+    double residentHotBias = 0.45;
+
+    /** Private/ReadShared: object-granular burst length in bytes. Random
+     *  accesses touch a run of this many consecutive bytes, giving the
+     *  block-level spatial structure (and the sibling-subblock snoop
+     *  pairs) real data structures produce. */
+    unsigned burstBytes = 64;
+
+    /** ProducerConsumer/Migratory: references per phase/ownership epoch. */
+    unsigned epochLen = 4096;
+
+    /** Migratory: object size in bytes (a few coherence units). */
+    unsigned objectBytes = 128;
+
+    /** ReadShared: skew of the hot-spot distribution (0 = uniform,
+     *  towards 1 = heavily skewed to low addresses). */
+    double hotBias = 0.4;
+
+    /** Neighbor: fraction of references that read the neighbour's
+     *  boundary rather than the local partition. */
+    double remoteFraction = 0.1;
+
+    /** Neighbor: boundary bytes shared with the neighbour. */
+    std::uint64_t boundaryBytes = 16 * 1024;
+};
+
+/** A named application profile. */
+struct AppProfile
+{
+    std::string name;    //!< full name, e.g. "Barnes"
+    std::string abbrev;  //!< two-letter tag, e.g. "ba"
+
+    /** References each processor issues (scaled from the paper's runs). */
+    std::uint64_t accessesPerProc = 1'000'000;
+
+    /** Probability a reference re-touches a recently used address
+     *  (temporal-locality knob that sets the L1 hit rate). */
+    double reuseProb = 0.6;
+
+    /** Word size of the generated references (spatial-locality knob). */
+    unsigned wordBytes = 4;
+
+    /** RNG seed; runs are bit-reproducible per (profile, nprocs). */
+    std::uint64_t seed = 1;
+
+    std::vector<StreamSpec> streams;
+};
+
+} // namespace jetty::trace
+
+#endif // JETTY_TRACE_APP_PROFILE_HH

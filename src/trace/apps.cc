@@ -1,0 +1,253 @@
+#include "trace/apps.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace jetty::trace
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+StreamSpec
+privateStream(double weight, std::uint64_t bytes, std::uint64_t resident,
+              double residentFrac, double writeFrac, double hotBias = 0.5)
+{
+    StreamSpec s;
+    s.kind = StreamKind::Private;
+    s.weight = weight;
+    s.bytes = bytes;
+    s.residentBytes = resident;
+    s.residentFraction = residentFrac;
+    s.residentHotBias = hotBias;
+    s.writeFraction = writeFrac;
+    return s;
+}
+
+StreamSpec
+pcStream(double weight, std::uint64_t bytes, unsigned epochLen)
+{
+    StreamSpec s;
+    s.kind = StreamKind::ProducerConsumer;
+    s.weight = weight;
+    s.bytes = bytes;
+    s.epochLen = epochLen;
+    return s;
+}
+
+StreamSpec
+migStream(double weight, std::uint64_t bytes, unsigned objectBytes)
+{
+    StreamSpec s;
+    s.kind = StreamKind::Migratory;
+    s.weight = weight;
+    s.bytes = bytes;
+    s.objectBytes = objectBytes;
+    return s;
+}
+
+StreamSpec
+sharedStream(double weight, std::uint64_t bytes, double hotBias)
+{
+    StreamSpec s;
+    s.kind = StreamKind::ReadShared;
+    s.weight = weight;
+    s.bytes = bytes;
+    s.hotBias = hotBias;
+    return s;
+}
+
+StreamSpec
+neighborStream(double weight, std::uint64_t bytes, double remoteFrac,
+               std::uint64_t boundary, double writeFrac)
+{
+    StreamSpec s;
+    s.kind = StreamKind::Neighbor;
+    s.weight = weight;
+    s.bytes = bytes;
+    s.remoteFraction = remoteFrac;
+    s.boundaryBytes = boundary;
+    s.writeFraction = writeFrac;
+    return s;
+}
+
+AppProfile
+base(const std::string &name, const std::string &abbrev, double reuse,
+     unsigned wordBytes, std::uint64_t seed)
+{
+    AppProfile p;
+    p.name = name;
+    p.abbrev = abbrev;
+    p.accessesPerProc = 4'000'000;
+    p.reuseProb = reuse;
+    p.wordBytes = wordBytes;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+paperApps()
+{
+    std::vector<AppProfile> apps;
+
+    // Barnes: N-body tree code. Misses split between private bodies, the
+    // widely read-shared tree (multi-copy snoop hits) and some migratory
+    // cell updates. Low L2 hit rate, the broadest remote-hit spread.
+    {
+        AppProfile p = base("Barnes", "ba", 0.88, 4, 101);
+        p.streams = {
+            privateStream(0.25, 3 * MiB, 160 * KiB, 0.08, 0.30, 0.40),
+            sharedStream(0.55, 2 * MiB, 0.65),
+            pcStream(0.10, 192 * KiB, 512),
+            migStream(0.10, 48 * KiB, 128),
+        };
+        apps.push_back(p);
+    }
+
+    // Cholesky: sparse factorization, dominated by private panels.
+    {
+        AppProfile p = base("Cholesky", "ch", 0.89, 4, 102);
+        p.streams = {
+            privateStream(0.92, 2 * MiB, 448 * KiB, 0.31, 0.35, 0.55),
+            sharedStream(0.05, 384 * KiB, 0.55),
+            pcStream(0.03, 96 * KiB, 512),
+        };
+        apps.push_back(p);
+    }
+
+    // Em3d: streaming graph relaxation over a partitioned mesh with
+    // neighbour boundary reads; poor L1 and L2 locality.
+    {
+        AppProfile p = base("Em3d", "em", 0.31, 8, 103);
+        p.streams = {
+            neighborStream(0.85, 4 * MiB, 0.16, 48 * KiB, 0.35),
+            privateStream(0.15, 2 * MiB, 320 * KiB, 0.20, 0.30, 0.55),
+        };
+        apps.push_back(p);
+    }
+
+    // Fft: bulk private butterflies plus an all-to-all transpose that
+    // behaves like pairwise producer/consumer.
+    {
+        AppProfile p = base("Fft", "ff", 0.73, 4, 104);
+        p.streams = {
+            privateStream(0.90, 3 * MiB, 48 * KiB, 0.05, 0.40, 0.35),
+            pcStream(0.10, 256 * KiB, 512),
+        };
+        apps.push_back(p);
+    }
+
+    // Fmm: excellent locality; mostly private interactions with a small
+    // shared boundary.
+    {
+        AppProfile p = base("Fmm", "fm", 0.984, 4, 105);
+        p.streams = {
+            privateStream(0.73, 2 * MiB, 384 * KiB, 0.94, 0.30, 0.65),
+            pcStream(0.22, 160 * KiB, 512),
+            sharedStream(0.05, 256 * KiB, 0.60),
+        };
+        apps.push_back(p);
+    }
+
+    // Lu: blocked factorization; high L2 hit rate, panel broadcast gives
+    // a visible single-copy snoop-hit share.
+    {
+        AppProfile p = base("Lu", "lu", 0.71, 4, 106);
+        p.streams = {
+            privateStream(0.70, 1536 * KiB, 512 * KiB, 0.80, 0.35, 0.62),
+            pcStream(0.30, 192 * KiB, 512),
+        };
+        apps.push_back(p);
+    }
+
+    // Ocean: near-neighbour grid sweeps; moderate locality, almost all
+    // snoops miss.
+    {
+        AppProfile p = base("Ocean", "oc", 0.45, 8, 107);
+        p.streams = {
+            privateStream(0.60, 1536 * KiB, 512 * KiB, 0.35, 0.35, 0.55),
+            neighborStream(0.40, 2 * MiB, 0.035, 32 * KiB, 0.35),
+        };
+        apps.push_back(p);
+    }
+
+    // Radix: permutation writes into large private key arrays; snoops
+    // essentially never find remote copies.
+    {
+        AppProfile p = base("Radix", "ra", 0.76, 4, 108);
+        p.streams = {
+            privateStream(1.0, 4 * MiB, 640 * KiB, 0.40, 0.50, 0.60),
+        };
+        apps.push_back(p);
+    }
+
+    // Raytrace: a read-only scene that fits in each L2 plus private ray
+    // state; misses are private, so snoops miss everywhere.
+    {
+        AppProfile p = base("Raytrace", "rt", 0.89, 4, 109);
+        p.streams = {
+            privateStream(1.0, 3 * MiB, 384 * KiB, 0.15, 0.30, 0.55),
+        };
+        apps.push_back(p);
+    }
+
+    // Unstructured: CFD over an irregular mesh; heavy pairwise sharing
+    // (edge updates) -- the paper's outlier with most snoops finding one
+    // remote copy.
+    {
+        AppProfile p = base("Unstructured", "un", 0.66, 8, 110);
+        p.streams = {
+            privateStream(0.34, 1 * MiB, 256 * KiB, 0.94, 0.35, 0.70),
+            migStream(0.32, 96 * KiB, 128),
+            pcStream(0.30, 128 * KiB, 512),
+            sharedStream(0.04, 768 * KiB, 0.45),
+        };
+        apps.push_back(p);
+    }
+
+    return apps;
+}
+
+AppProfile
+appByName(const std::string &name)
+{
+    const std::string key = toUpper(trim(name));
+    for (const auto &app : paperApps()) {
+        if (toUpper(app.abbrev) == key || toUpper(app.name) == key)
+            return app;
+    }
+    fatal("appByName: unknown application '" + name + "'");
+}
+
+AppProfile
+throughputServer()
+{
+    AppProfile p = base("ThroughputServer", "ts", 0.94, 4, 777);
+    // Independent programs: one private stream, nothing shared. Every
+    // miss-induced snoop misses in every remote cache.
+    p.streams = {
+        privateStream(1.0, 3 * MiB, 512 * KiB, 0.55, 0.35, 0.50),
+    };
+    return p;
+}
+
+AppProfile
+widelyShared()
+{
+    AppProfile p = base("WidelyShared", "ws", 0.90, 4, 888);
+    // A shared read-mostly region larger than one L2, browsed by all
+    // processors: many snoops find multiple remote copies, the worst case
+    // for a filter (Section 2's caveat about read-only sharing).
+    p.streams = {
+        sharedStream(0.85, 3 * MiB, 0.45),
+        privateStream(0.15, 1 * MiB, 256 * KiB, 0.50, 0.30, 0.50),
+    };
+    return p;
+}
+
+} // namespace jetty::trace

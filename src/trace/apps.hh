@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The named application profiles of the paper's evaluation (Table 2):
+ * Barnes, Cholesky, Em3d, Fft, Fmm, Lu, Ocean, Radix, Raytrace and
+ * Unstructured, plus a multiprogrammed "throughput server" workload used
+ * by the examples (Section 2's throughput-engine argument).
+ *
+ * Each profile is a synthetic stand-in tuned to land in the paper's
+ * behavioural regime: L1/L2 local hit rates (Table 2) and the remote-hit
+ * distribution of snoops (Table 3). EXPERIMENTS.md records the achieved
+ * vs published values.
+ */
+
+#ifndef JETTY_TRACE_APPS_HH
+#define JETTY_TRACE_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/app_profile.hh"
+
+namespace jetty::trace
+{
+
+/** All ten paper applications, in Table 2 order. */
+std::vector<AppProfile> paperApps();
+
+/** Look up one paper application by its two-letter tag ("ba".."un") or
+ *  full name (case-insensitive). Calls fatal() when unknown. */
+AppProfile appByName(const std::string &name);
+
+/** A multiprogrammed workload: every processor runs an independent
+ *  program, so virtually every snoop misses everywhere. */
+AppProfile throughputServer();
+
+/** A worst-case-for-JETTY workload: a widely read-shared region that every
+ *  processor caches, so snoops often hit (Section 2's caveat). */
+AppProfile widelyShared();
+
+} // namespace jetty::trace
+
+#endif // JETTY_TRACE_APPS_HH

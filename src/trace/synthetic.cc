@@ -1,0 +1,429 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace jetty::trace
+{
+
+namespace
+{
+
+/** Region alignment; keeps distinct streams in distinct L2 blocks. */
+constexpr std::uint64_t kRegionAlign = 4096;
+constexpr std::uint64_t KiB_ = 1024;
+
+/**
+ * Deterministic rotation of a region's hot spot, derived from its base so
+ * every stream (and every processor's slice) is hottest at a different
+ * offset. Shared regions must rotate identically on all processors, hence
+ * the dependence on the base address alone.
+ */
+std::uint64_t
+hotRotation(Addr base, std::uint64_t words)
+{
+    return words == 0 ? 0 : (base >> 12) * 2654435761ULL % words;
+}
+
+std::uint64_t
+alignUp(std::uint64_t v)
+{
+    return (v + kRegionAlign - 1) & ~(kRegionAlign - 1);
+}
+
+/**
+ * Per-processor generator. Holds per-stream walk state and a small reuse
+ * ring that models register/L1-resident temporal locality.
+ */
+class SyntheticSource : public TraceSource
+{
+  public:
+    SyntheticSource(const Workload &workload, const AppProfile &profile,
+                    unsigned nprocs, ProcId proc, std::uint64_t accesses,
+                    const std::vector<StreamLayout> &layouts)
+        : workload_(workload), profile_(profile), nprocs_(nprocs),
+          proc_(proc), remaining_(accesses),
+          rng_(profile.seed * 0x9e3779b97f4a7c15ULL + proc * 7919 + 1)
+    {
+        streams_.reserve(layouts.size());
+        double total_weight = 0;
+        for (const auto &l : layouts)
+            total_weight += l.spec.weight;
+        if (total_weight <= 0)
+            fatal("SyntheticSource: profile has no stream weight");
+        for (const auto &l : layouts) {
+            StreamState st;
+            st.layout = l;
+            st.cumWeight = 0;  // filled below
+            streams_.push_back(st);
+        }
+        double cum = 0;
+        for (auto &st : streams_) {
+            cum += st.layout.spec.weight / total_weight;
+            st.cumWeight = cum;
+        }
+        reuseRing_.assign(32, 0);
+    }
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        ++issued_;
+
+        // Temporal-locality reuse: re-touch a recently used address.
+        if (reuseFill_ > 0 && rng_.chance(profile_.reuseProb)) {
+            const std::size_t i = rng_.below(reuseFill_);
+            out.addr = reuseRing_[i];
+            out.type = AccessType::Read;
+            return true;
+        }
+
+        StreamState &st = pickStream();
+        out = fresh(st);
+        out.addr = workload_.translate(out.addr);
+        remember(out.addr);
+        return true;
+    }
+
+  private:
+    struct StreamState
+    {
+        StreamLayout layout;
+        double cumWeight = 0;
+        std::uint64_t pos = 0;       //!< walk cursor (bytes)
+        std::uint64_t accesses = 0;  //!< references this stream produced
+        std::uint64_t runLeft = 0;   //!< words left in the current burst
+        Addr runAddr = 0;            //!< next address of the burst
+        Addr runBase = 0;            //!< burst region base (for wrap)
+        std::uint64_t runBytes = 0;  //!< burst region size
+    };
+
+    /** Begin an object burst at @p start_word within the given region. */
+    void
+    startBurst(StreamState &st, Addr base, std::uint64_t bytes,
+               std::uint64_t start_word)
+    {
+        const unsigned word = profile_.wordBytes;
+        const std::uint64_t words = bytes / word;
+        st.runBase = base;
+        st.runBytes = bytes;
+        st.runAddr = base + (start_word % words) * word;
+        st.runLeft =
+            std::max<std::uint64_t>(1, st.layout.spec.burstBytes / word);
+    }
+
+    /** Next address of the active burst (wraps within its region). */
+    Addr
+    burstNext(StreamState &st)
+    {
+        const unsigned word = profile_.wordBytes;
+        const Addr a = st.runAddr;
+        st.runAddr += word;
+        if (st.runAddr >= st.runBase + st.runBytes)
+            st.runAddr = st.runBase;
+        --st.runLeft;
+        return a;
+    }
+
+    StreamState &
+    pickStream()
+    {
+        const double u = rng_.uniform();
+        for (auto &st : streams_) {
+            if (u <= st.cumWeight)
+                return st;
+        }
+        return streams_.back();
+    }
+
+    void
+    remember(Addr a)
+    {
+        reuseRing_[reusePos_] = a;
+        reusePos_ = (reusePos_ + 1) % reuseRing_.size();
+        reuseFill_ = std::min(reuseFill_ + 1, reuseRing_.size());
+    }
+
+    AccessType
+    drawType(double writeFraction)
+    {
+        return rng_.chance(writeFraction) ? AccessType::Write
+                                          : AccessType::Read;
+    }
+
+    TraceRecord fresh(StreamState &st);
+    TraceRecord freshPrivate(StreamState &st);
+    TraceRecord freshProducerConsumer(StreamState &st);
+    TraceRecord freshMigratory(StreamState &st);
+    TraceRecord freshReadShared(StreamState &st);
+    TraceRecord freshNeighbor(StreamState &st);
+
+    const Workload &workload_;
+    const AppProfile profile_;
+    const unsigned nprocs_;
+    const ProcId proc_;
+    std::uint64_t remaining_;
+    std::uint64_t issued_ = 0;
+    Rng rng_;
+    std::vector<StreamState> streams_;
+    std::vector<Addr> reuseRing_;
+    std::size_t reusePos_ = 0;
+    std::size_t reuseFill_ = 0;
+};
+
+TraceRecord
+SyntheticSource::fresh(StreamState &st)
+{
+    switch (st.layout.spec.kind) {
+      case StreamKind::Private:
+        return freshPrivate(st);
+      case StreamKind::ProducerConsumer:
+        return freshProducerConsumer(st);
+      case StreamKind::Migratory:
+        return freshMigratory(st);
+      case StreamKind::ReadShared:
+        return freshReadShared(st);
+      case StreamKind::Neighbor:
+        return freshNeighbor(st);
+    }
+    panic("SyntheticSource: unknown stream kind");
+}
+
+TraceRecord
+SyntheticSource::freshPrivate(StreamState &st)
+{
+    const StreamSpec &spec = st.layout.spec;
+    const Addr my_base = st.layout.base + proc_ * st.layout.perProcBytes;
+    const unsigned word = profile_.wordBytes;
+    TraceRecord rec;
+    rec.type = drawType(spec.writeFraction);
+
+    if (st.runLeft > 0) {
+        // Continue the active object burst.
+        rec.addr = burstNext(st);
+        ++st.accesses;
+        return rec;
+    }
+
+    if (rng_.chance(spec.residentFraction) && spec.residentBytes >= word) {
+        // Resident set: hot, reused, L2-friendly, object-granular.
+        const std::uint64_t words = spec.residentBytes / word;
+        const std::uint64_t hot = rng_.hotIndex(words, spec.residentHotBias);
+        startBurst(st, my_base, spec.residentBytes,
+                   (hot + hotRotation(my_base, words)) % words);
+        rec.addr = burstNext(st);
+    } else {
+        // Streaming set: sequential walk that defeats the L2.
+        const std::uint64_t stream_bytes =
+            spec.bytes > spec.residentBytes ? spec.bytes - spec.residentBytes
+                                            : word;
+        rec.addr = my_base + spec.residentBytes + (st.pos % stream_bytes);
+        st.pos += word;
+    }
+    ++st.accesses;
+    return rec;
+}
+
+TraceRecord
+SyntheticSource::freshProducerConsumer(StreamState &st)
+{
+    const StreamSpec &spec = st.layout.spec;
+    const unsigned word = profile_.wordBytes;
+    const std::uint64_t buf = st.layout.perProcBytes;
+    const Addr my_buf = st.layout.base + proc_ * buf;
+    const Addr neighbor_buf =
+        st.layout.base + ((proc_ + 1) % nprocs_) * buf;
+
+    // Even epochs produce (write own buffer); odd epochs consume (read the
+    // neighbour's buffer one epoch behind). All processors advance in
+    // lockstep because the simulator interleaves them 1:1.
+    const std::uint64_t epoch = st.accesses / spec.epochLen;
+    const std::uint64_t offset = (st.accesses * word) % buf;
+    ++st.accesses;
+
+    TraceRecord rec;
+    if (epoch % 2 == 0) {
+        rec.type = AccessType::Write;
+        rec.addr = my_buf + offset;
+    } else {
+        rec.type = AccessType::Read;
+        const std::uint64_t lag = spec.epochLen * word;
+        rec.addr = neighbor_buf + ((offset + buf - lag % buf) % buf);
+    }
+    return rec;
+}
+
+TraceRecord
+SyntheticSource::freshMigratory(StreamState &st)
+{
+    const StreamSpec &spec = st.layout.spec;
+    const unsigned word = profile_.wordBytes;
+    const std::uint64_t objects =
+        std::max<std::uint64_t>(1, st.layout.totalBytes / spec.objectBytes);
+
+    // Ownership rotates once per full sweep over a processor's share of
+    // the objects, so every object is handed to the next processor right
+    // after its read-modify-write visit -- classic migratory sharing.
+    const std::uint64_t step = st.accesses / 2;  // two refs per word visit
+    const std::uint64_t obj_words =
+        std::max<std::uint64_t>(1, spec.objectBytes / word);
+    const std::uint64_t mine =
+        std::max<std::uint64_t>(1, (objects + nprocs_ - 1) / nprocs_);
+    const std::uint64_t sweep = step / (mine * obj_words);
+    const std::uint64_t slot = (step / obj_words) % mine;
+    const std::uint64_t obj =
+        (slot * nprocs_ + ((proc_ + nprocs_ - sweep % nprocs_) % nprocs_)) %
+        objects;
+    const std::uint64_t within = (step % obj_words) * word;
+
+    TraceRecord rec;
+    rec.type = (st.accesses % 2 == 0) ? AccessType::Read : AccessType::Write;
+    rec.addr = st.layout.base + obj * spec.objectBytes + within;
+    ++st.accesses;
+    return rec;
+}
+
+TraceRecord
+SyntheticSource::freshReadShared(StreamState &st)
+{
+    const StreamSpec &spec = st.layout.spec;
+    const unsigned word = profile_.wordBytes;
+    const std::uint64_t words = st.layout.totalBytes / word;
+
+    TraceRecord rec;
+    rec.type = AccessType::Read;
+    if (st.runLeft == 0) {
+        const std::uint64_t hot = rng_.hotIndex(words, spec.hotBias);
+        startBurst(st, st.layout.base, st.layout.totalBytes,
+                   (hot + hotRotation(st.layout.base, words)) % words);
+    }
+    rec.addr = burstNext(st);
+    ++st.accesses;
+    return rec;
+}
+
+TraceRecord
+SyntheticSource::freshNeighbor(StreamState &st)
+{
+    const StreamSpec &spec = st.layout.spec;
+    const unsigned word = profile_.wordBytes;
+    const std::uint64_t part = st.layout.perProcBytes;
+    const Addr my_part = st.layout.base + proc_ * part;
+
+    TraceRecord rec;
+    if (rng_.chance(spec.remoteFraction)) {
+        // Boundary read just behind the neighbour's sweep cursor. All
+        // processors advance their partition walks at the same rate (the
+        // simulator interleaves them 1:1), so our own cursor approximates
+        // the neighbour's: the window [pos - boundary, pos) holds values
+        // the neighbour produced recently, as in a bulk-synchronous mesh
+        // relaxation.
+        const Addr neighbor = st.layout.base + ((proc_ + 1) % nprocs_) * part;
+        const std::uint64_t span =
+            std::min<std::uint64_t>(spec.boundaryBytes, part);
+        const std::uint64_t lag = rng_.below(span / word) * word + word;
+        const std::uint64_t pos = st.pos % part;
+        rec.type = AccessType::Read;
+        rec.addr = neighbor + (pos + part - (lag % part)) % part;
+    } else {
+        rec.type = drawType(spec.writeFraction);
+        rec.addr = my_part + (st.pos % part);
+        st.pos += word;
+    }
+    ++st.accesses;
+    return rec;
+}
+
+} // namespace
+
+Workload::Workload(const AppProfile &profile, unsigned nprocs,
+                   double accessScale, unsigned pageSpread)
+    : profile_(profile), nprocs_(nprocs)
+{
+    if (nprocs == 0)
+        fatal("Workload: need at least one processor");
+    if (profile.streams.empty())
+        fatal("Workload: profile has no streams");
+
+    accessesPerProc_ = static_cast<std::uint64_t>(
+        static_cast<double>(profile.accessesPerProc) * accessScale);
+    if (accessesPerProc_ == 0)
+        accessesPerProc_ = 1;
+
+    // Bump-allocate regions; base chosen above zero so address 0 stays
+    // free for "never used" sentinels in tests. Successive regions get an
+    // extra stagger so their bases land at different L2 set offsets --
+    // without it every region starts at the same sets and the hottest
+    // lines of all streams fight for the same few L2 frames, which no
+    // real heap layout does.
+    Addr cursor = 0x1000'0000;
+    unsigned region_idx = 0;
+    for (const auto &spec : profile.streams) {
+        StreamLayout l;
+        l.spec = spec;
+        cursor += (++region_idx) * 208 * KiB_ + kRegionAlign;
+        l.base = cursor;
+        const bool per_proc = spec.kind == StreamKind::Private ||
+                              spec.kind == StreamKind::ProducerConsumer ||
+                              spec.kind == StreamKind::Neighbor;
+        if (per_proc) {
+            l.perProcBytes = alignUp(spec.bytes);
+            l.totalBytes = l.perProcBytes * nprocs;
+        } else {
+            l.perProcBytes = 0;
+            l.totalBytes = alignUp(spec.bytes);
+        }
+        cursor += l.totalBytes;
+        memAllocated_ += l.totalBytes;
+        layouts_.push_back(l);
+    }
+    virtBase_ = 0x1000'0000;
+    virtEnd_ = cursor;
+
+    // Build the page table: scatter every virtual 4 KiB page over a frame
+    // space pageSpread times larger via a seeded partial Fisher-Yates
+    // shuffle, imitating OS physical page allocation.
+    if (pageSpread < 1)
+        pageSpread = 1;
+    const std::uint64_t pages =
+        (virtEnd_ - virtBase_ + kRegionAlign - 1) / kRegionAlign;
+    const std::uint64_t frames = pages * pageSpread;
+    std::vector<std::uint32_t> pool(frames);
+    for (std::uint64_t i = 0; i < frames; ++i)
+        pool[i] = static_cast<std::uint32_t>(i);
+    Rng rng(profile.seed ^ 0xfeedface12345678ULL);
+    pageFrames_.resize(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const std::uint64_t j = i + rng.below(frames - i);
+        std::swap(pool[i], pool[j]);
+        pageFrames_[i] = pool[i];
+    }
+}
+
+Addr
+Workload::translate(Addr vaddr) const
+{
+    if (vaddr < virtBase_ || vaddr >= virtEnd_)
+        return vaddr;  // outside the laid-out regions: identity
+    const std::uint64_t page = (vaddr - virtBase_) / kRegionAlign;
+    return virtBase_ +
+           static_cast<Addr>(pageFrames_[page]) * kRegionAlign +
+           (vaddr & (kRegionAlign - 1));
+}
+
+TraceSourcePtr
+Workload::makeSource(ProcId proc) const
+{
+    if (proc >= nprocs_)
+        fatal("Workload::makeSource: processor id out of range");
+    return std::make_unique<SyntheticSource>(*this, profile_, nprocs_, proc,
+                                             accessesPerProc_, layouts_);
+}
+
+} // namespace jetty::trace

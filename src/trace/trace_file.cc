@@ -1,0 +1,93 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace jetty::trace
+{
+
+namespace
+{
+constexpr char kMagic[8] = {'J', 'T', 'T', 'R', 'A', 'C', 'E', '1'};
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("writeTraceFile: cannot open '" + path + "'");
+
+    std::uint32_t count = static_cast<std::uint32_t>(records.size());
+    std::uint32_t reserved = 0;
+    if (std::fwrite(kMagic, 1, 8, f) != 8 ||
+        std::fwrite(&count, 4, 1, f) != 1 ||
+        std::fwrite(&reserved, 4, 1, f) != 1) {
+        std::fclose(f);
+        fatal("writeTraceFile: header write failed");
+    }
+
+    for (const auto &r : records) {
+        unsigned char rec[8];
+        rec[0] = r.type == AccessType::Write ? 1 : 0;
+        for (int i = 0; i < 7; ++i)
+            rec[1 + i] = static_cast<unsigned char>((r.addr >> (8 * i)) &
+                                                    0xff);
+        if (std::fwrite(rec, 1, 8, f) != 8) {
+            std::fclose(f);
+            fatal("writeTraceFile: record write failed");
+        }
+    }
+    std::fclose(f);
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("readTraceFile: cannot open '" + path + "'");
+
+    char magic[8];
+    std::uint32_t count = 0, reserved = 0;
+    if (std::fread(magic, 1, 8, f) != 8 ||
+        std::memcmp(magic, kMagic, 8) != 0 ||
+        std::fread(&count, 4, 1, f) != 1 ||
+        std::fread(&reserved, 4, 1, f) != 1) {
+        std::fclose(f);
+        fatal("readTraceFile: bad header in '" + path + "'");
+    }
+
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        unsigned char rec[8];
+        if (std::fread(rec, 1, 8, f) != 8) {
+            std::fclose(f);
+            fatal("readTraceFile: truncated record");
+        }
+        TraceRecord r;
+        r.type = rec[0] ? AccessType::Write : AccessType::Read;
+        r.addr = 0;
+        for (int b = 0; b < 7; ++b)
+            r.addr |= static_cast<Addr>(rec[1 + b]) << (8 * b);
+        records.push_back(r);
+    }
+    std::fclose(f);
+    return records;
+}
+
+std::vector<TraceRecord>
+collect(TraceSource &src, std::uint64_t limit)
+{
+    std::vector<TraceRecord> out;
+    TraceRecord r;
+    while ((limit == 0 || out.size() < limit) && src.next(r))
+        out.push_back(r);
+    return out;
+}
+
+} // namespace jetty::trace

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary trace file format: lets users capture a synthetic (or external)
+ * reference stream once and replay it, mirroring the paper's WWT2
+ * trace-collection methodology.
+ *
+ * Format: 16-byte header ("JTTRACE1", u32 record count, u32 reserved)
+ * followed by records of {u8 type, 7-byte little-endian address}.
+ */
+
+#ifndef JETTY_TRACE_TRACE_FILE_HH
+#define JETTY_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace jetty::trace
+{
+
+/** Write @p records to @p path. Calls fatal() on I/O errors. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceRecord> &records);
+
+/** Read a trace file written by writeTraceFile(). */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/** Drain up to @p limit records from @p src into a vector (0 = all). */
+std::vector<TraceRecord> collect(TraceSource &src, std::uint64_t limit = 0);
+
+} // namespace jetty::trace
+
+#endif // JETTY_TRACE_TRACE_FILE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Abstract stream of memory references consumed by the simulator. Sources
+ * are per-processor; the simulator interleaves them round-robin (a
+ * WWT2-style quantum of one reference).
+ */
+
+#ifndef JETTY_TRACE_TRACE_SOURCE_HH
+#define JETTY_TRACE_TRACE_SOURCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace jetty::trace
+{
+
+/** One memory reference. */
+struct TraceRecord
+{
+    AccessType type = AccessType::Read;
+    Addr addr = 0;
+};
+
+/** A finite stream of references for one processor. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the stream is exhausted (@p out untouched).
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+/** A canned reference list (tests, file replays). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        out = records_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace jetty::trace
+
+#endif // JETTY_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by cache index/tag extraction and the
+ * JETTY index generators.
+ */
+
+#ifndef JETTY_UTIL_BITS_HH
+#define JETTY_UTIL_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace jetty
+{
+
+/** Return true when @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/**
+ * Extract the bit field [first, first+count) of @p v (LSB = bit 0).
+ * A zero @p count yields 0; fields reaching past bit 63 are truncated.
+ */
+constexpr std::uint64_t
+bitField(std::uint64_t v, unsigned first, unsigned count)
+{
+    if (count == 0 || first >= 64)
+        return 0;
+    v >>= first;
+    if (count >= 64)
+        return v;
+    return v & ((std::uint64_t{1} << count) - 1);
+}
+
+/** Build a mask with bits [0, count) set. */
+constexpr std::uint64_t
+maskBits(unsigned count)
+{
+    return count >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << count) - 1;
+}
+
+/** Align @p a down to a multiple of the power-of-two @p unit. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t unit)
+{
+    assert(isPowerOfTwo(unit));
+    return a & ~(unit - 1);
+}
+
+} // namespace jetty
+
+#endif // JETTY_UTIL_BITS_HH

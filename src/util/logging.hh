@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status reporting: fatal() for user errors,
+ * panic() for internal invariant violations, warn()/inform() for notices.
+ */
+
+#ifndef JETTY_UTIL_LOGGING_HH
+#define JETTY_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace jetty
+{
+
+/**
+ * Report a user-facing error (bad configuration, invalid arguments) and
+ * exit with status 1. Mirrors gem5's fatal().
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a bug in the simulator itself)
+ * and abort. Mirrors gem5's panic().
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace jetty
+
+#endif // JETTY_UTIL_LOGGING_HH

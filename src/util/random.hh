@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic workload
+ * generators. A fixed, seedable generator keeps every experiment exactly
+ * reproducible across runs and platforms (std::mt19937 would also work, but
+ * xoshiro256** is faster and the distributions below are bit-exact ours).
+ */
+
+#ifndef JETTY_UTIL_RANDOM_HH
+#define JETTY_UTIL_RANDOM_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace jetty
+{
+
+/**
+ * xoshiro256** pseudo-random generator (public-domain algorithm by
+ * Blackman & Vigna), seeded via splitmix64 so that any 64-bit seed gives a
+ * well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 expansion of the seed into 4 state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Rejection-free multiply-shift mapping; bias is negligible for
+        // the bounds used here (all far below 2^63).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-flavoured "hot" index in [0, n): repeatedly halves the
+     * range with probability @p bias, concentrating draws near 0. Used to
+     * model temporal locality without a per-address history.
+     */
+    std::uint64_t
+    hotIndex(std::uint64_t n, double bias)
+    {
+        assert(n != 0);
+        std::uint64_t lo = 0, hi = n;
+        while (hi - lo > 1 && chance(bias))
+            hi = lo + (hi - lo + 1) / 2;
+        return lo + below(hi - lo);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace jetty
+
+#endif // JETTY_UTIL_RANDOM_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics primitives (counters, ratios, histograms) used by
+ * the simulator and the filter bank. Deliberately simple: everything is a
+ * named 64-bit counter or a fixed-bucket histogram that can be printed or
+ * merged.
+ */
+
+#ifndef JETTY_UTIL_STATS_HH
+#define JETTY_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jetty
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n events (default one). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Merge another counter into this one. */
+    void merge(const Counter &o) { value_ += o.value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Safe ratio of two counts; returns 0 when the denominator is zero. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/** Percentage form of ratio(). */
+inline double
+percent(std::uint64_t num, std::uint64_t den)
+{
+    return 100.0 * ratio(num, den);
+}
+
+/**
+ * Fixed-bucket histogram over small integer samples (e.g., the number of
+ * remote caches hit by a snoop, 0..Ncpu-1). Samples beyond the last bucket
+ * are clamped into it.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with @p buckets buckets (>= 1). */
+    explicit Histogram(std::size_t buckets = 1) : counts_(buckets, 0) {}
+
+    /** Record one sample with value @p v. */
+    void
+    sample(std::size_t v)
+    {
+        if (v >= counts_.size())
+            v = counts_.size() - 1;
+        ++counts_[v];
+        ++total_;
+    }
+
+    /** Number of buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Fraction of all samples falling in bucket @p i. */
+    double fraction(std::size_t i) const
+    {
+        return ratio(counts_.at(i), total_);
+    }
+
+    /** Total number of samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Merge another histogram (same bucket count) into this one. */
+    void
+    merge(const Histogram &o)
+    {
+        counts_.resize(std::max(counts_.size(), o.counts_.size()), 0);
+        for (std::size_t i = 0; i < o.counts_.size(); ++i)
+            counts_[i] += o.counts_[i];
+        total_ += o.total_;
+    }
+
+    /** Reset all buckets. */
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace jetty
+
+#endif // JETTY_UTIL_STATS_HH

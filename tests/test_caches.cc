@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: L1 cache, subblocked L2 cache with
+ * listeners, and the write-back buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/l1_cache.hh"
+#include "mem/l2_cache.hh"
+#include "mem/writeback_buffer.hh"
+
+using namespace jetty;
+using namespace jetty::mem;
+using coherence::BusOp;
+using coherence::State;
+
+// ---------------------------------------------------------------- L1 ----
+
+namespace
+{
+
+L1Config
+smallL1()
+{
+    L1Config cfg;
+    cfg.sizeBytes = 1024;  // 32 lines of 32B, direct mapped
+    cfg.assoc = 1;
+    cfg.blockBytes = 32;
+    return cfg;
+}
+
+} // namespace
+
+TEST(L1Cache, MissThenFillThenHit)
+{
+    L1Cache l1(smallL1());
+    EXPECT_FALSE(l1.probe(0x1000).hit);
+    L1Victim victim;
+    l1.fill(0x1000, false, victim);
+    EXPECT_FALSE(victim.valid);
+    const auto res = l1.probe(0x1000);
+    EXPECT_TRUE(res.hit);
+    EXPECT_FALSE(res.writable);
+    EXPECT_FALSE(res.dirty);
+}
+
+TEST(L1Cache, LineAlignment)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    l1.fill(0x1000, false, victim);
+    EXPECT_TRUE(l1.probe(0x101f).hit);   // same 32B line
+    EXPECT_FALSE(l1.probe(0x1020).hit);  // next line
+}
+
+TEST(L1Cache, DirectMappedConflictEvicts)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    l1.fill(0x0, true, victim);
+    l1.markDirty(0x0);
+    // 1KB direct mapped: 0x400 aliases with 0x0.
+    l1.fill(0x400, false, victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(victim.lineAddr, 0x0u);
+    EXPECT_FALSE(l1.probe(0x0).hit);
+}
+
+TEST(L1Cache, CleanVictimReported)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    l1.fill(0x0, false, victim);
+    l1.fill(0x400, false, victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_FALSE(victim.dirty);
+}
+
+TEST(L1Cache, WritableAndDirtyFlags)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    l1.fill(0x40, true, victim);
+    EXPECT_TRUE(l1.probe(0x40).writable);
+    l1.markDirty(0x40);
+    EXPECT_TRUE(l1.probe(0x40).dirty);
+    l1.setWritable(0x40, false);
+    EXPECT_FALSE(l1.probe(0x40).writable);
+}
+
+TEST(L1Cache, InvalidateReportsDirtiness)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    l1.fill(0x40, true, victim);
+    l1.markDirty(0x40);
+    EXPECT_TRUE(l1.invalidate(0x40));
+    EXPECT_FALSE(l1.probe(0x40).hit);
+    EXPECT_FALSE(l1.invalidate(0x40));  // already gone
+}
+
+TEST(L1Cache, SetAssociativeLru)
+{
+    L1Config cfg = smallL1();
+    cfg.assoc = 2;  // 16 sets x 2 ways
+    L1Cache l1(cfg);
+    L1Victim victim;
+    const Addr set_stride = 16 * 32;  // same-set stride
+    l1.fill(0x0, false, victim);
+    l1.fill(set_stride, false, victim);
+    l1.touch(0x0);  // make way holding 0x0 the MRU
+    l1.fill(2 * set_stride, false, victim);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_EQ(victim.lineAddr, set_stride);  // LRU evicted
+    EXPECT_TRUE(l1.probe(0x0).hit);
+}
+
+TEST(L1Cache, ValidLineCount)
+{
+    L1Cache l1(smallL1());
+    L1Victim victim;
+    EXPECT_EQ(l1.validLines(), 0u);
+    l1.fill(0x0, false, victim);
+    l1.fill(0x20, false, victim);
+    EXPECT_EQ(l1.validLines(), 2u);
+    l1.invalidate(0x0);
+    EXPECT_EQ(l1.validLines(), 1u);
+}
+
+// ---------------------------------------------------------------- L2 ----
+
+namespace
+{
+
+L2Config
+smallL2()
+{
+    L2Config cfg;
+    cfg.sizeBytes = 4096;  // 64 blocks of 64B, direct mapped
+    cfg.assoc = 1;
+    cfg.blockBytes = 64;
+    cfg.subblocks = 2;
+    return cfg;
+}
+
+struct RecordingListener : public CacheEventListener
+{
+    std::vector<Addr> fills, evicts;
+    void unitFilled(Addr a) override { fills.push_back(a); }
+    void unitEvicted(Addr a) override { evicts.push_back(a); }
+};
+
+} // namespace
+
+TEST(L2Cache, FillAndProbeSubblocks)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    l2.fill(0x1000, State::Exclusive, victims);
+    EXPECT_TRUE(victims.empty());
+
+    const auto sub0 = l2.probe(0x1000);
+    EXPECT_TRUE(sub0.tagMatch);
+    EXPECT_TRUE(sub0.unitValid);
+    EXPECT_EQ(sub0.state, State::Exclusive);
+
+    // The sibling subblock shares the tag but is invalid.
+    const auto sub1 = l2.probe(0x1020);
+    EXPECT_TRUE(sub1.tagMatch);
+    EXPECT_FALSE(sub1.unitValid);
+
+    EXPECT_TRUE(l2.hasBlock(0x1020));
+    EXPECT_FALSE(l2.hasBlock(0x2000));
+}
+
+TEST(L2Cache, UnitAlignment)
+{
+    L2Cache l2(smallL2());
+    EXPECT_EQ(l2.unitAlign(0x103f), 0x1020u);
+    EXPECT_EQ(l2.blockAlign(0x103f), 0x1000u);
+}
+
+TEST(L2Cache, ConflictEvictionReturnsAllValidUnits)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    l2.fill(0x0, State::Modified, victims);
+    l2.fill(0x20, State::Shared, victims);  // second subblock, same block
+    // 4KB direct mapped: 0x1000 aliases with 0x0.
+    victims.clear();
+    l2.fill(0x1000, State::Exclusive, victims);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(victims[0].unitAddr, 0x0u);
+    EXPECT_EQ(victims[0].state, State::Modified);
+    EXPECT_EQ(victims[1].unitAddr, 0x20u);
+    EXPECT_EQ(victims[1].state, State::Shared);
+    EXPECT_FALSE(l2.hasBlock(0x0));
+}
+
+TEST(L2Cache, ListenersSeeFillsAndEvictions)
+{
+    L2Cache l2(smallL2());
+    RecordingListener rec;
+    l2.addListener(&rec);
+    std::vector<L2Victim> victims;
+    l2.fill(0x40, State::Exclusive, victims);
+    l2.fill(0x60, State::Exclusive, victims);
+    ASSERT_EQ(rec.fills.size(), 2u);
+    EXPECT_EQ(rec.fills[0], 0x40u);
+    EXPECT_EQ(rec.fills[1], 0x60u);
+
+    l2.fill(0x1040, State::Exclusive, victims);  // evicts block 0x40
+    ASSERT_EQ(rec.evicts.size(), 2u);
+    EXPECT_EQ(rec.evicts[0], 0x40u);
+    EXPECT_EQ(rec.evicts[1], 0x60u);
+}
+
+TEST(L2Cache, SnoopBusReadDowngradesModified)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    l2.fill(0x80, State::Modified, victims);
+    const auto out = l2.snoop(0x80, BusOp::BusRead);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_TRUE(out.supplied);
+    EXPECT_EQ(l2.probe(0x80).state, State::Owned);
+}
+
+TEST(L2Cache, SnoopBusReadXInvalidatesAndNotifies)
+{
+    L2Cache l2(smallL2());
+    RecordingListener rec;
+    l2.addListener(&rec);
+    std::vector<L2Victim> victims;
+    l2.fill(0x80, State::Shared, victims);
+    const auto out = l2.snoop(0x80, BusOp::BusReadX);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_FALSE(l2.probe(0x80).unitValid);
+    ASSERT_EQ(rec.evicts.size(), 1u);
+    EXPECT_EQ(rec.evicts[0], 0x80u);
+}
+
+TEST(L2Cache, SnoopMissOnAbsentBlock)
+{
+    L2Cache l2(smallL2());
+    const auto out = l2.snoop(0xbeef00, BusOp::BusRead);
+    EXPECT_FALSE(out.hadCopy);
+}
+
+TEST(L2Cache, SnoopMissOnInvalidSibling)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    l2.fill(0x1000, State::Exclusive, victims);
+    const auto out = l2.snoop(0x1020, BusOp::BusRead);
+    EXPECT_FALSE(out.hadCopy);
+    // The valid sibling is untouched.
+    EXPECT_TRUE(l2.probe(0x1000).unitValid);
+}
+
+TEST(L2Cache, SetStateTransitions)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    l2.fill(0xc0, State::Exclusive, victims);
+    l2.setState(0xc0, State::Modified);
+    EXPECT_EQ(l2.probe(0xc0).state, State::Modified);
+}
+
+TEST(L2Cache, InvalidateUnit)
+{
+    L2Cache l2(smallL2());
+    RecordingListener rec;
+    l2.addListener(&rec);
+    std::vector<L2Victim> victims;
+    l2.fill(0xc0, State::Shared, victims);
+    l2.invalidateUnit(0xc0);
+    EXPECT_FALSE(l2.probe(0xc0).unitValid);
+    EXPECT_EQ(rec.evicts.size(), 1u);
+    l2.invalidateUnit(0xc0);  // no-op
+    EXPECT_EQ(rec.evicts.size(), 1u);
+}
+
+TEST(L2Cache, ValidUnitCountTracksEverything)
+{
+    L2Cache l2(smallL2());
+    std::vector<L2Victim> victims;
+    EXPECT_EQ(l2.validUnits(), 0u);
+    l2.fill(0x0, State::Exclusive, victims);
+    l2.fill(0x20, State::Exclusive, victims);
+    l2.fill(0x40, State::Modified, victims);
+    EXPECT_EQ(l2.validUnits(), 3u);
+    l2.snoop(0x40, BusOp::BusReadX);
+    EXPECT_EQ(l2.validUnits(), 2u);
+    l2.fill(0x1000, State::Shared, victims);  // evicts block 0 (2 units)
+    EXPECT_EQ(l2.validUnits(), 1u);
+}
+
+TEST(L2Cache, SetAssociativeLru)
+{
+    L2Config cfg = smallL2();
+    cfg.assoc = 2;  // 32 sets x 2 ways
+    L2Cache l2(cfg);
+    std::vector<L2Victim> victims;
+    const Addr stride = 32 * 64;  // same-set stride
+    l2.fill(0x0, State::Exclusive, victims);
+    l2.fill(stride, State::Exclusive, victims);
+    l2.touch(0x0);
+    victims.clear();
+    l2.fill(2 * stride, State::Exclusive, victims);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0].unitAddr, stride);
+    EXPECT_TRUE(l2.hasBlock(0x0));
+}
+
+TEST(L2Cache, NonSubblockedConfig)
+{
+    L2Config cfg;
+    cfg.sizeBytes = 2048;
+    cfg.blockBytes = 32;
+    cfg.subblocks = 1;
+    L2Cache l2(cfg);
+    std::vector<L2Victim> victims;
+    l2.fill(0x100, State::Exclusive, victims);
+    EXPECT_TRUE(l2.probe(0x100).unitValid);
+    EXPECT_EQ(l2.unitAlign(0x11f), 0x100u);
+}
+
+// ------------------------------------------------------ WritebackBuffer --
+
+TEST(WritebackBuffer, FifoOrder)
+{
+    WritebackBuffer wb(2);
+    EXPECT_TRUE(wb.empty());
+    wb.push({0x100, State::Modified});
+    wb.push({0x200, State::Owned});
+    EXPECT_FALSE(wb.hasRoom());
+    EXPECT_EQ(wb.pop().unitAddr, 0x100u);
+    EXPECT_EQ(wb.pop().unitAddr, 0x200u);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(WritebackBuffer, ContainsAndTake)
+{
+    WritebackBuffer wb(4);
+    wb.push({0x100, State::Modified});
+    wb.push({0x200, State::Owned});
+    EXPECT_TRUE(wb.contains(0x200));
+    EXPECT_FALSE(wb.contains(0x300));
+
+    bool found = false;
+    const auto e = wb.take(0x200, found);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(e.state, State::Owned);
+    EXPECT_FALSE(wb.contains(0x200));
+    EXPECT_EQ(wb.size(), 1u);
+
+    bool found2 = true;
+    wb.take(0x999, found2);
+    EXPECT_FALSE(found2);
+}
+
+TEST(WritebackBuffer, CapacityReported)
+{
+    WritebackBuffer wb(3);
+    EXPECT_EQ(wb.capacity(), 3u);
+    wb.push({0x1, State::Modified});
+    EXPECT_TRUE(wb.hasRoom());
+    EXPECT_EQ(wb.size(), 1u);
+}

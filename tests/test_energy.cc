@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the energy library: the SRAM array model's scaling
+ * behaviour, CACTI-lite banking, cache-level energies, the Appendix-A
+ * analytical model, the run-level accountant, and the Table 1 data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/accountant.hh"
+#include "energy/analytical.hh"
+#include "energy/cache_energy.hh"
+#include "energy/sram_array.hh"
+#include "energy/xeon_power.hh"
+
+using namespace jetty::energy;
+
+namespace
+{
+const Technology kTech = Technology::micron180();
+}
+
+TEST(SramArray, ReadEnergyPositive)
+{
+    SramArray a(64, 32, 1, kTech);
+    EXPECT_GT(a.readEnergy(32), 0.0);
+    EXPECT_GT(a.readEnergy(0), 0.0);
+}
+
+TEST(SramArray, ReadScalesWithColumns)
+{
+    SramArray narrow(256, 32, 1, kTech);
+    SramArray wide(256, 256, 1, kTech);
+    EXPECT_GT(wide.readEnergy(0), narrow.readEnergy(0) * 4);
+}
+
+TEST(SramArray, ReadScalesWithRows)
+{
+    SramArray small(64, 64, 1, kTech);
+    SramArray tall(4096, 64, 1, kTech);
+    EXPECT_GT(tall.readEnergy(0), small.readEnergy(0) * 4);
+}
+
+TEST(SramArray, BankingShortensBitlines)
+{
+    SramArray flat(4096, 64, 1, kTech);
+    SramArray banked(4096, 64, 16, kTech);
+    EXPECT_LT(banked.readEnergy(0), flat.readEnergy(0));
+    EXPECT_EQ(banked.rowsPerBank(), 256u);
+}
+
+TEST(SramArray, OutputDriversCost)
+{
+    SramArray a(64, 64, 1, kTech);
+    EXPECT_GT(a.readEnergy(64), a.readEnergy(0));
+}
+
+TEST(SramArray, WriteMoreExpensiveThanReadPerBit)
+{
+    // Full-swing drive beats the sensed read swing for the same columns.
+    SramArray a(256, 64, 1, kTech);
+    EXPECT_GT(a.writeEnergy(64), a.readEnergy(0));
+}
+
+TEST(SramArray, OptimalBanksBounded)
+{
+    const unsigned banks = SramArray::optimalBanks(8192, 64, kTech, 64);
+    EXPECT_GE(banks, 1u);
+    EXPECT_LE(banks, 64u);
+    // Large arrays want banking.
+    EXPECT_GT(banks, 1u);
+}
+
+TEST(SramArray, OptimalBanksIsOptimal)
+{
+    const unsigned best = SramArray::optimalBanks(8192, 64, kTech, 64);
+    const double best_e = SramArray(8192, 64, best, kTech).readEnergy(0);
+    for (unsigned b = 1; b <= 64; b *= 2) {
+        if (b >= 8192)
+            break;
+        EXPECT_LE(best_e, SramArray(8192, 64, b, kTech).readEnergy(0));
+    }
+}
+
+TEST(SramArray, TinyArrayPrefersFewBanks)
+{
+    EXPECT_LE(SramArray::optimalBanks(32, 32, kTech, 64), 4u);
+}
+
+TEST(SramArray, BitsAccount)
+{
+    SramArray a(128, 16, 2, kTech);
+    EXPECT_EQ(a.bits(), 128u * 16u);
+}
+
+TEST(CacheGeometry, TagBits)
+{
+    CacheGeometry g;
+    g.sizeBytes = 1 << 20;
+    g.assoc = 4;
+    g.blockBytes = 64;
+    g.physAddrBits = 36;
+    // 4096 sets -> 12 index bits, 6 offset bits -> 18 tag bits.
+    EXPECT_EQ(g.sets(), 4096u);
+    EXPECT_EQ(g.tagBits(), 18u);
+    EXPECT_EQ(g.unitBytes(), 32u);
+}
+
+TEST(CacheEnergyModel, AllEnergiesPositive)
+{
+    CacheGeometry g;
+    CacheEnergyModel m(g);
+    EXPECT_GT(m.energies().tagRead, 0.0);
+    EXPECT_GT(m.energies().tagWrite, 0.0);
+    EXPECT_GT(m.energies().dataReadUnit, 0.0);
+    EXPECT_GT(m.energies().dataWriteUnit, 0.0);
+}
+
+TEST(CacheEnergyModel, JettyMuchCheaperThanL2Tags)
+{
+    // Section 2.2's premise: a JETTY probe is a small fraction of an L2
+    // tag probe. The largest IJ p-bit array is a 32x32 register file.
+    CacheGeometry g;
+    g.assoc = 4;
+    CacheEnergyModel l2(g);
+    SramArray pbit(32, 32, 1, kTech);
+    EXPECT_LT(pbit.readEnergy(1) * 4, 0.25 * l2.energies().tagRead);
+}
+
+TEST(CacheEnergyModel, ParallelReadsAllWays)
+{
+    CacheGeometry g;
+    g.assoc = 4;
+    CacheEnergyModel m(g);
+    EXPECT_DOUBLE_EQ(m.dataReadAllWays(), 4 * m.energies().dataReadUnit);
+}
+
+TEST(CacheEnergyModel, SmallerBlocksCheaperData)
+{
+    CacheGeometry g32, g64;
+    g32.blockBytes = 32;
+    g32.subblocks = 1;
+    g64.blockBytes = 64;
+    g64.subblocks = 1;
+    g32.assoc = g64.assoc = 4;
+    CacheEnergyModel m32(g32), m64(g64);
+    EXPECT_LT(m32.energies().dataReadUnit, m64.energies().dataReadUnit);
+}
+
+TEST(Analytical, AppendixAEquations)
+{
+    // Hand-checked point: TAG=1, DATA=2, Ncpu=4, L=0.5, R=0.1.
+    AnalyticalParams p;
+    p.tagEnergy = 1.0;
+    p.dataEnergy = 2.0;
+    p.ncpu = 4;
+    AnalyticalSnoopModel m(p);
+    const auto r = m.evaluate(0.5, 0.1);
+    EXPECT_NEAR(r.tagSnoopMiss, 1.35, 1e-9);
+    EXPECT_NEAR(r.snoopEnergy, 1.5, 1e-9);
+    EXPECT_NEAR(r.dataEnergy, 2.3, 1e-9);
+    EXPECT_NEAR(r.tagAll, 3.0, 1e-9);
+    EXPECT_NEAR(r.snoopMissFraction, 1.35 / 5.3, 1e-9);
+}
+
+TEST(Analytical, ZeroAtFullLocalHit)
+{
+    AnalyticalParams p{1.0, 2.0, 4};
+    AnalyticalSnoopModel m(p);
+    EXPECT_DOUBLE_EQ(m.evaluate(1.0, 0.0).snoopMissFraction, 0.0);
+}
+
+TEST(Analytical, MonotoneInLocalHitRate)
+{
+    const auto m = AnalyticalSnoopModel::forCache(CacheGeometry{}, 4);
+    double prev = 1.0;
+    for (double l = 0.0; l <= 1.0; l += 0.1) {
+        const double f = m.evaluate(l, 0.1).snoopMissFraction;
+        EXPECT_LE(f, prev + 1e-12);
+        prev = f;
+    }
+}
+
+TEST(Analytical, MonotoneInRemoteHitRate)
+{
+    const auto m = AnalyticalSnoopModel::forCache(CacheGeometry{}, 4);
+    double prev = 1.0;
+    for (double r = 0.0; r <= 0.9; r += 0.1) {
+        const double f = m.evaluate(0.5, r).snoopMissFraction;
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Analytical, PaperOperatingPoint)
+{
+    // Section 2.1: ~33% at L=0.5, R=0.1 for 1MB 4-way 32B blocks.
+    CacheGeometry g;
+    g.blockBytes = 32;
+    g.subblocks = 1;
+    g.assoc = 4;
+    const auto m = AnalyticalSnoopModel::forCache(g, 4);
+    const double f = m.evaluate(0.5, 0.1).snoopMissFraction;
+    EXPECT_GT(f, 0.25);
+    EXPECT_LT(f, 0.45);
+}
+
+TEST(Analytical, MoreProcessorsMoreSnoopEnergy)
+{
+    CacheGeometry g;
+    const auto m4 = AnalyticalSnoopModel::forCache(g, 4);
+    const auto m8 = AnalyticalSnoopModel::forCache(g, 8);
+    EXPECT_GT(m8.evaluate(0.5, 0.1).snoopMissFraction,
+              m4.evaluate(0.5, 0.1).snoopMissFraction);
+}
+
+namespace
+{
+
+L2Traffic
+sampleTraffic()
+{
+    L2Traffic t;
+    t.localTagProbes = 1000;
+    t.localTagUpdates = 300;
+    t.localDataReads = 700;
+    t.localDataWrites = 400;
+    t.snoopTagProbes = 2000;
+    t.snoopTagUpdates = 50;
+    t.snoopDataReads = 60;
+    return t;
+}
+
+} // namespace
+
+TEST(Accountant, BaselinePositiveAndSplit)
+{
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto b = acc.baseline(sampleTraffic(), AccessMode::Serial);
+    EXPECT_GT(b.localEnergy, 0.0);
+    EXPECT_GT(b.snoopEnergy, 0.0);
+    EXPECT_DOUBLE_EQ(b.filterEnergy, 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), b.localEnergy + b.snoopEnergy);
+}
+
+TEST(Accountant, ParallelCostsMore)
+{
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto s = acc.baseline(sampleTraffic(), AccessMode::Serial);
+    const auto p = acc.baseline(sampleTraffic(), AccessMode::Parallel);
+    EXPECT_GT(p.total(), s.total());
+    EXPECT_GT(p.snoopEnergy, s.snoopEnergy);
+}
+
+TEST(Accountant, PerfectFreeFilterSavesAllSnoopTagEnergy)
+{
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto t = sampleTraffic();
+    FilterTraffic f;
+    f.probes = t.snoopTagProbes;
+    f.filtered = t.snoopTagProbes;  // filters everything
+    const auto base = acc.baseline(t, AccessMode::Serial);
+    const auto with =
+        acc.withFilter(t, AccessMode::Serial, f, FilterEnergyCosts{});
+    EXPECT_NEAR(with.snoopEnergy,
+                base.snoopEnergy -
+                    static_cast<double>(t.snoopTagProbes) *
+                        m.energies().tagRead,
+                1e-18);
+    EXPECT_GT(EnergyAccountant::snoopReductionPct(base, with), 80.0);
+}
+
+TEST(Accountant, UselessFilterCostsEnergy)
+{
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto t = sampleTraffic();
+    FilterTraffic f;
+    f.probes = t.snoopTagProbes;
+    f.filtered = 0;
+    FilterEnergyCosts costs;
+    costs.probe = 1e-12;
+    const auto base = acc.baseline(t, AccessMode::Serial);
+    const auto with = acc.withFilter(t, AccessMode::Serial, f, costs);
+    EXPECT_LT(EnergyAccountant::snoopReductionPct(base, with), 0.0);
+    EXPECT_LT(EnergyAccountant::totalReductionPct(base, with), 0.0);
+}
+
+TEST(Accountant, UpdateCostsCharged)
+{
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto t = sampleTraffic();
+    FilterTraffic f;
+    f.fillUpdates = 100;
+    f.evictUpdates = 50;
+    f.snoopAllocs = 10;
+    FilterEnergyCosts costs;
+    costs.fillUpdate = 1e-12;
+    costs.evictUpdate = 2e-12;
+    costs.snoopAlloc = 3e-12;
+    const auto with = acc.withFilter(t, AccessMode::Serial, f, costs);
+    EXPECT_NEAR(with.filterEnergy, 100 * 1e-12 + 50 * 2e-12 + 10 * 3e-12,
+                1e-20);
+}
+
+TEST(Accountant, TrafficMerge)
+{
+    L2Traffic a = sampleTraffic(), b = sampleTraffic();
+    a.merge(b);
+    EXPECT_EQ(a.localTagProbes, 2000u);
+    EXPECT_EQ(a.snoopTagProbes, 4000u);
+    EXPECT_EQ(a.allTagAccesses(), 2 * (1000u + 300u + 2000u + 50u));
+}
+
+TEST(XeonTable, MatchesPaperRatios)
+{
+    // Paper Table 1 derived columns: 14%/16%, 23%/28%, 34%/43%.
+    EXPECT_NEAR(xeonPowerTable[0].l2FractionWithPads(), 0.14, 0.02);
+    EXPECT_NEAR(xeonPowerTable[0].l2FractionWithoutPads(), 0.16, 0.01);
+    EXPECT_NEAR(xeonPowerTable[1].l2FractionWithPads(), 0.23, 0.01);
+    EXPECT_NEAR(xeonPowerTable[1].l2FractionWithoutPads(), 0.28, 0.01);
+    EXPECT_NEAR(xeonPowerTable[2].l2FractionWithPads(), 0.34, 0.01);
+    EXPECT_NEAR(xeonPowerTable[2].l2FractionWithoutPads(), 0.43, 0.015);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the FilterBank: parallel passive evaluation, statistics
+ * bookkeeping, event fan-out, and safety enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/filter_bank.hh"
+#include "core/filter_spec.hh"
+
+using namespace jetty;
+using namespace jetty::filter;
+
+namespace
+{
+
+AddressMap
+amap()
+{
+    AddressMap m;
+    m.l2CapacityUnits = 1024;
+    return m;
+}
+
+} // namespace
+
+TEST(FilterBank, BuildsAllSpecs)
+{
+    FilterBank bank({"NULL", "EJ-8x2", "IJ-6x5x6"}, amap());
+    EXPECT_EQ(bank.size(), 3u);
+    EXPECT_EQ(bank.indexOf("EJ-8x2"), 1);
+    EXPECT_EQ(bank.indexOf("missing"), -1);
+}
+
+TEST(FilterBank, CountsProbesAndMisses)
+{
+    FilterBank bank({"NULL"}, amap());
+    bank.observeSnoop(0x100, /*unitInL2=*/false, /*blockInL2=*/false);
+    bank.observeSnoop(0x200, true, true);
+    const auto &st = bank.statsAt(0);
+    EXPECT_EQ(st.probes, 2u);
+    EXPECT_EQ(st.wouldMiss, 1u);
+    EXPECT_EQ(st.filtered, 0u);
+    EXPECT_EQ(st.snoopAllocs, 1u);  // the miss was delivered
+}
+
+TEST(FilterBank, EjLearnsThroughBank)
+{
+    FilterBank bank({"EJ-8x2"}, amap());
+    bank.observeSnoop(0x100, false, false);  // miss -> allocate
+    bank.observeSnoop(0x100, false, false);  // now filtered
+    const auto &st = bank.statsAt(0);
+    EXPECT_EQ(st.filtered, 1u);
+    EXPECT_EQ(st.filteredWouldMiss, 1u);
+    EXPECT_DOUBLE_EQ(st.coverage(), 0.5);
+}
+
+TEST(FilterBank, FillEventsFanOut)
+{
+    FilterBank bank({"EJ-8x2", "IJ-6x5x6"}, amap());
+    bank.unitFilled(0x300);
+    bank.unitEvicted(0x300);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        EXPECT_EQ(bank.statsAt(i).fillUpdates, 1u);
+        EXPECT_EQ(bank.statsAt(i).evictUpdates, 1u);
+    }
+}
+
+TEST(FilterBank, StatsMerge)
+{
+    FilterStats a, b;
+    a.probes = 10;
+    a.filtered = 2;
+    a.wouldMiss = 8;
+    a.filteredWouldMiss = 2;
+    b.probes = 30;
+    b.filtered = 10;
+    b.wouldMiss = 22;
+    b.filteredWouldMiss = 10;
+    a.merge(b);
+    EXPECT_EQ(a.probes, 40u);
+    EXPECT_DOUBLE_EQ(a.coverage(), 12.0 / 30.0);
+}
+
+TEST(FilterBank, TrafficConversion)
+{
+    FilterStats s;
+    s.probes = 5;
+    s.filtered = 3;
+    s.snoopAllocs = 2;
+    s.fillUpdates = 7;
+    s.evictUpdates = 6;
+    const auto t = s.traffic();
+    EXPECT_EQ(t.probes, 5u);
+    EXPECT_EQ(t.filtered, 3u);
+    EXPECT_EQ(t.snoopAllocs, 2u);
+    EXPECT_EQ(t.fillUpdates, 7u);
+    EXPECT_EQ(t.evictUpdates, 6u);
+}
+
+TEST(FilterBankDeathTest, SafetyViolationPanics)
+{
+    // An IJ that never saw the fill believes nothing is cached; claiming
+    // the unit is present must trip the safety check.
+    FilterBank bank({"IJ-6x5x6"}, amap(), /*checkSafety=*/true);
+    EXPECT_DEATH(bank.observeSnoop(0x100, /*unitInL2=*/true, true),
+                 "safety violation");
+}
+
+TEST(FilterBank, SafetyViolationCountedWhenNotEnforced)
+{
+    FilterBank bank({"IJ-6x5x6"}, amap(), /*checkSafety=*/false);
+    bank.observeSnoop(0x100, true, true);
+    EXPECT_EQ(bank.statsAt(0).safetyViolations, 1u);
+}
+
+TEST(FilterBank, CoverageZeroWhenNoMisses)
+{
+    FilterBank bank({"EJ-8x2"}, amap());
+    EXPECT_DOUBLE_EQ(bank.statsAt(0).coverage(), 0.0);
+}

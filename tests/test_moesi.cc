@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit and parameterized tests of the MOESI state machine: every
+ * (state, bus-op) snooper transition and every requester fill state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/moesi.hh"
+
+using namespace jetty::coherence;
+
+TEST(Moesi, StateHelpers)
+{
+    EXPECT_FALSE(isValid(State::Invalid));
+    EXPECT_TRUE(isValid(State::Shared));
+    EXPECT_TRUE(isValid(State::Modified));
+
+    EXPECT_TRUE(isWritable(State::Modified));
+    EXPECT_TRUE(isWritable(State::Exclusive));
+    EXPECT_FALSE(isWritable(State::Owned));
+    EXPECT_FALSE(isWritable(State::Shared));
+    EXPECT_FALSE(isWritable(State::Invalid));
+
+    EXPECT_TRUE(isDirty(State::Modified));
+    EXPECT_TRUE(isDirty(State::Owned));
+    EXPECT_FALSE(isDirty(State::Exclusive));
+    EXPECT_FALSE(isDirty(State::Shared));
+}
+
+TEST(Moesi, Names)
+{
+    EXPECT_STREQ(stateName(State::Modified), "M");
+    EXPECT_STREQ(stateName(State::Owned), "O");
+    EXPECT_STREQ(stateName(State::Exclusive), "E");
+    EXPECT_STREQ(stateName(State::Shared), "S");
+    EXPECT_STREQ(stateName(State::Invalid), "I");
+    EXPECT_STREQ(busOpName(BusOp::BusRead), "BusRead");
+    EXPECT_STREQ(busOpName(BusOp::BusUpgrade), "BusUpgrade");
+}
+
+TEST(Moesi, BusReadOnModifiedSuppliesAndOwns)
+{
+    const auto out = snoopTransition(State::Modified, BusOp::BusRead);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_TRUE(out.supplied);
+    EXPECT_EQ(out.next, State::Owned);
+}
+
+TEST(Moesi, BusReadOnOwnedSuppliesStaysOwned)
+{
+    const auto out = snoopTransition(State::Owned, BusOp::BusRead);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_TRUE(out.supplied);
+    EXPECT_EQ(out.next, State::Owned);
+}
+
+TEST(Moesi, BusReadOnExclusiveSuppliesAndShares)
+{
+    const auto out = snoopTransition(State::Exclusive, BusOp::BusRead);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_TRUE(out.supplied);
+    EXPECT_EQ(out.next, State::Shared);
+}
+
+TEST(Moesi, BusReadOnSharedStaysQuiet)
+{
+    const auto out = snoopTransition(State::Shared, BusOp::BusRead);
+    EXPECT_TRUE(out.hadCopy);
+    EXPECT_FALSE(out.supplied);
+    EXPECT_EQ(out.next, State::Shared);
+}
+
+TEST(Moesi, BusReadOnInvalidMisses)
+{
+    const auto out = snoopTransition(State::Invalid, BusOp::BusRead);
+    EXPECT_FALSE(out.hadCopy);
+    EXPECT_FALSE(out.supplied);
+    EXPECT_EQ(out.next, State::Invalid);
+}
+
+/** Every valid state is invalidated by BusReadX; dirty states supply. */
+class MoesiReadX : public ::testing::TestWithParam<State>
+{
+};
+
+TEST_P(MoesiReadX, InvalidatesAll)
+{
+    const State s = GetParam();
+    const auto out = snoopTransition(s, BusOp::BusReadX);
+    EXPECT_EQ(out.hadCopy, isValid(s));
+    EXPECT_EQ(out.next, State::Invalid);
+    EXPECT_EQ(out.supplied, isDirty(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, MoesiReadX,
+                         ::testing::Values(State::Invalid, State::Shared,
+                                           State::Exclusive, State::Owned,
+                                           State::Modified));
+
+/** Every valid state is invalidated by BusUpgrade without data supply. */
+class MoesiUpgrade : public ::testing::TestWithParam<State>
+{
+};
+
+TEST_P(MoesiUpgrade, InvalidatesWithoutSupply)
+{
+    const State s = GetParam();
+    const auto out = snoopTransition(s, BusOp::BusUpgrade);
+    EXPECT_EQ(out.hadCopy, isValid(s));
+    EXPECT_EQ(out.next, State::Invalid);
+    EXPECT_FALSE(out.supplied);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, MoesiUpgrade,
+                         ::testing::Values(State::Invalid, State::Shared,
+                                           State::Exclusive, State::Owned,
+                                           State::Modified));
+
+/** Writebacks never disturb other caches. */
+class MoesiWriteback : public ::testing::TestWithParam<State>
+{
+};
+
+TEST_P(MoesiWriteback, NoEffect)
+{
+    const State s = GetParam();
+    const auto out = snoopTransition(s, BusOp::BusWriteback);
+    EXPECT_FALSE(out.hadCopy);
+    EXPECT_EQ(out.next, s);
+    EXPECT_FALSE(out.supplied);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, MoesiWriteback,
+                         ::testing::Values(State::Invalid, State::Shared,
+                                           State::Exclusive, State::Owned,
+                                           State::Modified));
+
+TEST(Moesi, FillStates)
+{
+    EXPECT_EQ(fillState(BusOp::BusRead, false), State::Exclusive);
+    EXPECT_EQ(fillState(BusOp::BusRead, true), State::Shared);
+    EXPECT_EQ(fillState(BusOp::BusReadX, false), State::Modified);
+    EXPECT_EQ(fillState(BusOp::BusReadX, true), State::Modified);
+    EXPECT_EQ(fillState(BusOp::BusUpgrade, true), State::Modified);
+}

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Integration tests of the SMP system: coherence scenarios driven access
+ * by access, inclusion invariants, remote-hit accounting, write-back
+ * buffer behaviour, and statistics identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/smp_system.hh"
+#include "trace/trace_source.hh"
+#include "util/random.hh"
+
+using namespace jetty;
+using namespace jetty::sim;
+using coherence::State;
+
+namespace
+{
+
+SmpConfig
+smallConfig(unsigned nprocs = 4)
+{
+    SmpConfig cfg;
+    cfg.nprocs = nprocs;
+    cfg.l1.sizeBytes = 1024;
+    cfg.l1.blockBytes = 32;
+    cfg.l2.sizeBytes = 8192;
+    cfg.l2.blockBytes = 64;
+    cfg.l2.subblocks = 2;
+    cfg.wbEntries = 4;
+    cfg.filterSpecs = {"NULL", "HJ(IJ-8x4x7,EJ-16x2)"};
+    return cfg;
+}
+
+constexpr Addr kA = 0x10000;
+
+} // namespace
+
+TEST(SmpSystem, ColdReadFillsExclusive)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Read, kA);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Exclusive);
+    EXPECT_TRUE(sys.l1(0).probe(kA).hit);
+    EXPECT_TRUE(sys.l1(0).probe(kA).writable);  // E grants write permission
+    const auto &p0 = sys.stats().procs[0];
+    EXPECT_EQ(p0.busReads, 1u);
+    EXPECT_EQ(p0.l1Misses, 1u);
+    // All three remote caches were snooped and missed.
+    std::uint64_t snoops = 0;
+    for (unsigned q = 1; q < 4; ++q)
+        snoops += sys.stats().procs[q].snoopTagProbes;
+    EXPECT_EQ(snoops, 3u);
+    EXPECT_EQ(sys.stats().remoteHits.count(0), 1u);
+}
+
+TEST(SmpSystem, ReadSharingDowngradesOwner)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Modified);
+
+    sys.processorAccess(1, AccessType::Read, kA);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Owned);
+    EXPECT_EQ(sys.l2(1).probe(kA).state, State::Shared);
+    EXPECT_EQ(sys.stats().procs[0].snoopSupplies, 1u);
+    // The second transaction found one remote copy.
+    EXPECT_EQ(sys.stats().remoteHits.count(1), 1u);
+}
+
+TEST(SmpSystem, WriteInvalidatesAllSharers)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Read, kA);
+    sys.processorAccess(1, AccessType::Read, kA);
+    sys.processorAccess(2, AccessType::Read, kA);
+
+    sys.processorAccess(3, AccessType::Write, kA);
+    EXPECT_EQ(sys.l2(3).probe(kA).state, State::Modified);
+    for (unsigned q = 0; q < 3; ++q) {
+        EXPECT_FALSE(sys.l2(q).probe(kA).unitValid) << q;
+        EXPECT_FALSE(sys.l1(q).probe(kA).hit) << q;  // inclusion
+    }
+}
+
+TEST(SmpSystem, UpgradeOnSharedWriteHit)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Read, kA);
+    sys.processorAccess(1, AccessType::Read, kA);  // both Shared now
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Shared);
+
+    sys.processorAccess(0, AccessType::Write, kA);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Modified);
+    EXPECT_FALSE(sys.l2(1).probe(kA).unitValid);
+    EXPECT_EQ(sys.stats().procs[0].busUpgrades, 1u);
+}
+
+TEST(SmpSystem, SilentExclusiveToModified)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Read, kA);
+    // Displace kA from the 1KB L1 (clean victim) so the write below is
+    // an L1 miss that hits the Exclusive unit in the L2.
+    sys.processorAccess(0, AccessType::Read, kA + 1024);
+    ASSERT_FALSE(sys.l1(0).probe(kA).hit);
+    const auto txns_before = sys.stats().snoopTransactions;
+    sys.processorAccess(0, AccessType::Write, kA);
+    // E->M must not generate bus traffic.
+    EXPECT_EQ(sys.stats().snoopTransactions, txns_before);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Modified);
+    EXPECT_EQ(sys.stats().procs[0].upgradesSilent, 1u);
+}
+
+TEST(SmpSystem, SubblocksFetchedIndependently)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Read, kA);
+    EXPECT_FALSE(sys.l2(0).probe(kA + 32).unitValid);
+    sys.processorAccess(0, AccessType::Read, kA + 32);
+    EXPECT_TRUE(sys.l2(0).probe(kA + 32).unitValid);
+    EXPECT_EQ(sys.stats().procs[0].busReads, 2u);
+}
+
+TEST(SmpSystem, MigratoryReadWriteChain)
+{
+    SmpSystem sys(smallConfig());
+    for (unsigned p = 0; p < 4; ++p) {
+        sys.processorAccess(p, AccessType::Read, kA);
+        sys.processorAccess(p, AccessType::Write, kA);
+    }
+    // Final owner holds M; everyone else invalid.
+    EXPECT_EQ(sys.l2(3).probe(kA).state, State::Modified);
+    for (unsigned q = 0; q < 3; ++q)
+        EXPECT_FALSE(sys.l2(q).probe(kA).unitValid);
+}
+
+TEST(SmpSystem, DirtyEvictionGoesToWritebackBuffer)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);
+    // Evict kA's block: the L2 is 8KB direct mapped.
+    sys.processorAccess(0, AccessType::Read, kA + 8192);
+    EXPECT_FALSE(sys.l2(0).probe(kA).unitValid);
+    EXPECT_TRUE(sys.wb(0).contains(kA));
+    EXPECT_EQ(sys.stats().procs[0].wbInsertions, 1u);
+}
+
+TEST(SmpSystem, WritebackReclaimAvoidsBus)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);
+    sys.processorAccess(0, AccessType::Read, kA + 8192);  // kA -> WB
+    const auto reads_before = sys.stats().procs[0].busReads;
+    sys.processorAccess(0, AccessType::Read, kA);  // reclaim
+    EXPECT_EQ(sys.stats().procs[0].busReads, reads_before);
+    EXPECT_EQ(sys.stats().procs[0].wbReclaims, 1u);
+    EXPECT_FALSE(sys.wb(0).contains(kA));
+    EXPECT_TRUE(sys.l2(0).probe(kA).unitValid);
+}
+
+TEST(SmpSystem, RemoteSnoopHitsWritebackBuffer)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);
+    sys.processorAccess(0, AccessType::Read, kA + 8192);  // kA -> WB of 0
+    sys.processorAccess(1, AccessType::Read, kA);
+    EXPECT_EQ(sys.stats().procs[0].wbSnoopsHit, 1u);
+    // The WB copy counted as a remote hit for the transaction.
+    EXPECT_GE(sys.stats().remoteHits.count(1), 1u);
+}
+
+TEST(SmpSystem, BusReadXRemovesWbEntry)
+{
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);
+    sys.processorAccess(0, AccessType::Read, kA + 8192);  // kA -> WB of 0
+    sys.processorAccess(1, AccessType::Write, kA);        // BusReadX
+    EXPECT_FALSE(sys.wb(0).contains(kA));
+    EXPECT_EQ(sys.l2(1).probe(kA).state, State::Modified);
+}
+
+TEST(SmpSystem, InclusionHoldsUnderConflicts)
+{
+    SmpSystem sys(smallConfig());
+    // Touch many conflicting lines; every L1 line must be backed by L2.
+    for (int i = 0; i < 64; ++i) {
+        sys.processorAccess(0, AccessType::Write,
+                            kA + static_cast<Addr>(i) * 1024);
+    }
+    for (int i = 0; i < 64; ++i) {
+        const Addr a = kA + static_cast<Addr>(i) * 1024;
+        if (sys.l1(0).probe(a).hit) {
+            EXPECT_TRUE(sys.l2(0).probe(a).unitValid) << i;
+        }
+    }
+}
+
+TEST(SmpSystem, StatsIdentities)
+{
+    SmpConfig cfg = smallConfig();
+    SmpSystem sys(cfg);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const ProcId p = static_cast<ProcId>(rng.below(4));
+        const Addr a = rng.below(2048) * 32;
+        sys.processorAccess(
+            p, rng.chance(0.3) ? AccessType::Write : AccessType::Read, a);
+    }
+    const auto agg = sys.stats().aggregate();
+
+    // Every access is either an L1 hit or an L1 miss.
+    EXPECT_EQ(agg.accesses, agg.l1Hits + agg.l1Misses);
+    EXPECT_EQ(agg.accesses, agg.reads + agg.writes);
+
+    // Each snooping transaction probes nprocs-1 remote L2s.
+    EXPECT_EQ(agg.snoopTagProbes, 3 * sys.stats().snoopTransactions);
+    EXPECT_EQ(agg.snoopTagProbes, agg.snoopHits + agg.snoopMisses);
+
+    // The remote-hit histogram covers every transaction.
+    EXPECT_EQ(sys.stats().remoteHits.total(),
+              sys.stats().snoopTransactions);
+
+    // Transactions are exactly the reads + readXs + upgrades.
+    EXPECT_EQ(sys.stats().snoopTransactions,
+              agg.busReads + agg.busReadXs + agg.busUpgrades);
+
+    // Local L2 accesses are L1 misses plus writebacks plus the upgrade
+    // probes from L1 write hits on non-writable lines.
+    EXPECT_GE(agg.l2LocalAccesses, agg.l1Misses);
+
+    // Energy traffic mirrors the architectural counters.
+    EXPECT_EQ(agg.traffic.snoopTagProbes, agg.snoopTagProbes);
+}
+
+TEST(SmpSystem, FilterBankObservesEverySnoop)
+{
+    SmpSystem sys(smallConfig());
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+        const ProcId p = static_cast<ProcId>(rng.below(4));
+        const Addr a = rng.below(512) * 32;
+        sys.processorAccess(
+            p, rng.chance(0.3) ? AccessType::Write : AccessType::Read, a);
+    }
+    const auto agg = sys.stats().aggregate();
+    const auto null_stats = sys.mergedFilterStats(0);
+    const auto hj_stats = sys.mergedFilterStats(1);
+    EXPECT_EQ(null_stats.probes, agg.snoopTagProbes);
+    EXPECT_EQ(hj_stats.probes, agg.snoopTagProbes);
+    EXPECT_EQ(null_stats.filtered, 0u);
+    EXPECT_EQ(hj_stats.safetyViolations, 0u);
+    EXPECT_EQ(hj_stats.wouldMiss, agg.snoopMisses);
+}
+
+TEST(SmpSystem, RunDrivesAttachedSources)
+{
+    SmpConfig cfg = smallConfig(2);
+    SmpSystem sys(cfg);
+    std::vector<trace::TraceSourcePtr> sources;
+    std::vector<trace::TraceRecord> recs0{{AccessType::Read, 0x100},
+                                          {AccessType::Write, 0x100}};
+    std::vector<trace::TraceRecord> recs1{{AccessType::Read, 0x100}};
+    sources.push_back(
+        std::make_unique<trace::VectorTraceSource>(recs0));
+    sources.push_back(
+        std::make_unique<trace::VectorTraceSource>(recs1));
+    sys.attachSources(std::move(sources));
+    sys.run();
+    EXPECT_EQ(sys.stats().procs[0].accesses, 2u);
+    EXPECT_EQ(sys.stats().procs[1].accesses, 1u);
+}
+
+TEST(SmpSystem, EightWayConfig)
+{
+    SmpConfig cfg = smallConfig(8);
+    SmpSystem sys(cfg);
+    sys.processorAccess(0, AccessType::Read, kA);
+    // Seven remote snoops.
+    std::uint64_t snoops = 0;
+    for (unsigned q = 1; q < 8; ++q)
+        snoops += sys.stats().procs[q].snoopTagProbes;
+    EXPECT_EQ(snoops, 7u);
+}
+
+TEST(SmpSystemDeathTest, RejectsBadConfigs)
+{
+    SmpConfig cfg = smallConfig();
+    cfg.nprocs = 1;
+    EXPECT_EXIT(SmpSystem{cfg}, ::testing::ExitedWithCode(1),
+                "at least two");
+
+    SmpConfig cfg2 = smallConfig();
+    cfg2.l1.blockBytes = 64;  // mismatch with L2 coherence unit
+    EXPECT_EXIT(SmpSystem{cfg2}, ::testing::ExitedWithCode(1),
+                "coherence unit");
+}

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the workload substrate: determinism, layout, page
+ * scrambling, the application registry, stream behaviours, and the trace
+ * file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "trace/apps.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_source.hh"
+
+using namespace jetty;
+using namespace jetty::trace;
+
+namespace
+{
+
+AppProfile
+tinyProfile()
+{
+    AppProfile p;
+    p.name = "Tiny";
+    p.abbrev = "ti";
+    p.accessesPerProc = 5000;
+    p.reuseProb = 0.5;
+    p.wordBytes = 4;
+    p.seed = 99;
+    StreamSpec s;
+    s.kind = StreamKind::Private;
+    s.weight = 1.0;
+    s.bytes = 64 * 1024;
+    s.residentBytes = 16 * 1024;
+    s.residentFraction = 0.5;
+    p.streams = {s};
+    return p;
+}
+
+} // namespace
+
+TEST(Workload, DeterministicAcrossInstances)
+{
+    const AppProfile p = tinyProfile();
+    Workload w1(p, 4), w2(p, 4);
+    auto s1 = w1.makeSource(2), s2 = w2.makeSource(2);
+    TraceRecord a, b;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(s1->next(a));
+        ASSERT_TRUE(s2->next(b));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.type, b.type);
+    }
+    EXPECT_FALSE(s1->next(a));
+}
+
+TEST(Workload, ProcessorsGetDistinctStreams)
+{
+    Workload w(tinyProfile(), 4);
+    auto s0 = w.makeSource(0), s1 = w.makeSource(1);
+    TraceRecord a, b;
+    bool differs = false;
+    for (int i = 0; i < 200; ++i) {
+        s0->next(a);
+        s1->next(b);
+        differs |= a.addr != b.addr;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, AccessScaleApplies)
+{
+    Workload w(tinyProfile(), 2, 0.1);
+    EXPECT_EQ(w.accessesPerProc(), 500u);
+    auto s = w.makeSource(0);
+    TraceRecord r;
+    std::uint64_t n = 0;
+    while (s->next(r))
+        ++n;
+    EXPECT_EQ(n, 500u);
+}
+
+TEST(Workload, LayoutsDoNotOverlap)
+{
+    AppProfile p = tinyProfile();
+    StreamSpec shared;
+    shared.kind = StreamKind::ReadShared;
+    shared.weight = 0.5;
+    shared.bytes = 32 * 1024;
+    p.streams.push_back(shared);
+    Workload w(p, 4);
+    const auto &ls = w.layouts();
+    ASSERT_EQ(ls.size(), 2u);
+    EXPECT_GE(ls[1].base, ls[0].base + ls[0].totalBytes);
+}
+
+TEST(Workload, MemoryAllocatedCoversRegions)
+{
+    Workload w(tinyProfile(), 4);
+    // One 64KB private region per processor (page aligned).
+    EXPECT_GE(w.memoryAllocated(), 4u * 64u * 1024u);
+}
+
+TEST(Workload, TranslateIsInjectiveOnPages)
+{
+    Workload w(tinyProfile(), 4);
+    std::set<Addr> frames;
+    const auto &ls = w.layouts();
+    const Addr base = ls[0].base;
+    for (Addr page = 0; page < ls[0].totalBytes / 4096; ++page) {
+        const Addr phys = w.translate(base + page * 4096);
+        EXPECT_EQ(phys & 4095, base & 4095 ? 0 : (base + page * 4096) & 4095);
+        EXPECT_TRUE(frames.insert(phys & ~Addr{4095}).second)
+            << "two pages mapped to one frame";
+    }
+}
+
+TEST(Workload, TranslatePreservesPageOffsets)
+{
+    Workload w(tinyProfile(), 4);
+    const Addr v = w.layouts()[0].base + 0x1234;
+    EXPECT_EQ(w.translate(v) & 4095, v & 4095);
+    // Two addresses on one page stay on one page.
+    EXPECT_EQ(w.translate(v) + 4, w.translate(v + 4));
+}
+
+TEST(Workload, TranslateIdentityOutsideRegions)
+{
+    Workload w(tinyProfile(), 4);
+    EXPECT_EQ(w.translate(0x42), 0x42u);
+}
+
+TEST(Workload, SourcesEmitWordAlignedAddressesInRange)
+{
+    Workload w(tinyProfile(), 4);
+    auto s = w.makeSource(0);
+    TraceRecord r;
+    while (s->next(r))
+        EXPECT_EQ(r.addr % 4, 0u);
+}
+
+TEST(Workload, RejectsZeroProcs)
+{
+    EXPECT_EXIT(Workload(tinyProfile(), 0), ::testing::ExitedWithCode(1),
+                "at least one");
+}
+
+TEST(Workload, RejectsEmptyProfile)
+{
+    AppProfile p = tinyProfile();
+    p.streams.clear();
+    EXPECT_EXIT(Workload(p, 4), ::testing::ExitedWithCode(1), "no streams");
+}
+
+TEST(Apps, RegistryHasTenPaperApps)
+{
+    const auto apps = paperApps();
+    ASSERT_EQ(apps.size(), 10u);
+    EXPECT_EQ(apps.front().abbrev, "ba");
+    EXPECT_EQ(apps.back().abbrev, "un");
+    std::set<std::string> abbrevs;
+    for (const auto &a : apps) {
+        EXPECT_FALSE(a.streams.empty()) << a.name;
+        abbrevs.insert(a.abbrev);
+    }
+    EXPECT_EQ(abbrevs.size(), 10u);
+}
+
+TEST(Apps, LookupByAbbrevAndName)
+{
+    EXPECT_EQ(appByName("ba").name, "Barnes");
+    EXPECT_EQ(appByName("RADIX").abbrev, "ra");
+    EXPECT_EQ(appByName(" lu ").name, "Lu");
+}
+
+TEST(Apps, LookupUnknownFatal)
+{
+    EXPECT_EXIT(appByName("nope"), ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Apps, SpecialWorkloadsExist)
+{
+    EXPECT_EQ(throughputServer().streams.size(), 1u);
+    EXPECT_EQ(widelyShared().streams.size(), 2u);
+}
+
+TEST(Streams, MigratoryOwnershipDisjointWithinSweep)
+{
+    // At any step index, the objects visited by different processors must
+    // be disjoint (no two processors own one object simultaneously).
+    AppProfile p = tinyProfile();
+    p.reuseProb = 0.0;
+    StreamSpec mig;
+    mig.kind = StreamKind::Migratory;
+    mig.weight = 1.0;
+    mig.bytes = 8 * 1024;
+    mig.objectBytes = 128;
+    p.streams = {mig};
+    Workload w(p, 4);
+
+    std::vector<TraceSourcePtr> sources;
+    for (unsigned q = 0; q < 4; ++q)
+        sources.push_back(w.makeSource(q));
+
+    // Lockstep: compare the object each processor touches per step.
+    for (int step = 0; step < 2000; ++step) {
+        std::set<Addr> objects;
+        for (auto &s : sources) {
+            TraceRecord r;
+            ASSERT_TRUE(s->next(r));
+            objects.insert(r.addr / 128);
+        }
+        EXPECT_EQ(objects.size(), 4u) << "step " << step;
+    }
+}
+
+TEST(Streams, ProducerConsumerAlternatesPhases)
+{
+    AppProfile p = tinyProfile();
+    p.reuseProb = 0.0;
+    StreamSpec pc;
+    pc.kind = StreamKind::ProducerConsumer;
+    pc.weight = 1.0;
+    pc.bytes = 16 * 1024;
+    pc.epochLen = 64;
+    p.streams = {pc};
+    Workload w(p, 2);
+    auto s = w.makeSource(0);
+
+    // First epoch: all writes; second epoch: all reads.
+    TraceRecord r;
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(s->next(r));
+        EXPECT_EQ(r.type, AccessType::Write) << i;
+    }
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(s->next(r));
+        EXPECT_EQ(r.type, AccessType::Read) << i;
+    }
+}
+
+TEST(Streams, ReadSharedOnlyReads)
+{
+    AppProfile p = tinyProfile();
+    StreamSpec sh;
+    sh.kind = StreamKind::ReadShared;
+    sh.weight = 1.0;
+    sh.bytes = 8 * 1024;
+    p.streams = {sh};
+    Workload w(p, 2);
+    auto s = w.makeSource(1);
+    TraceRecord r;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(s->next(r));
+        EXPECT_EQ(r.type, AccessType::Read);
+    }
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    std::vector<TraceRecord> recs;
+    recs.push_back({AccessType::Read, 0x123456789aull});
+    recs.push_back({AccessType::Write, 0x20});
+    recs.push_back({AccessType::Read, 0});
+
+    const std::string path = "/tmp/jetty_test_trace.bin";
+    writeTraceFile(path, recs);
+    const auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(back[i].addr, recs[i].addr);
+        EXPECT_EQ(back[i].type, recs[i].type);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CollectAndReplay)
+{
+    Workload w(tinyProfile(), 2);
+    auto s = w.makeSource(0);
+    const auto recs = collect(*s, 100);
+    EXPECT_EQ(recs.size(), 100u);
+
+    const std::string path = "/tmp/jetty_test_trace2.bin";
+    writeTraceFile(path, recs);
+    VectorTraceSource replay(readTraceFile(path));
+    auto fresh = w.makeSource(0);
+    TraceRecord a, b;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(replay.next(a));
+        ASSERT_TRUE(fresh->next(b));
+        EXPECT_EQ(a.addr, b.addr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsMissingFile)
+{
+    EXPECT_EXIT(readTraceFile("/tmp/definitely_missing_jetty_trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the util library: bit helpers, deterministic RNG,
+ * statistics primitives, table formatting, and string parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+using namespace jetty;
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(6));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, BitField)
+{
+    EXPECT_EQ(bitField(0xff00, 8, 8), 0xffull);
+    EXPECT_EQ(bitField(0xabcd, 0, 4), 0xdull);
+    EXPECT_EQ(bitField(0xabcd, 4, 4), 0xcull);
+    EXPECT_EQ(bitField(~0ull, 60, 10), 0xfull);  // truncated at bit 63
+    EXPECT_EQ(bitField(0xff, 0, 0), 0ull);
+    EXPECT_EQ(bitField(0xff, 64, 4), 0ull);
+}
+
+TEST(Bits, MaskAndAlign)
+{
+    EXPECT_EQ(maskBits(0), 0ull);
+    EXPECT_EQ(maskBits(8), 0xffull);
+    EXPECT_EQ(maskBits(64), ~0ull);
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200ull);
+    EXPECT_EQ(alignDown(0x1200, 0x100), 0x1200ull);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(37);
+        EXPECT_LT(v, 37u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, HotIndexBiased)
+{
+    Rng r(13);
+    // With strong bias the mean index is far below uniform's n/2.
+    double hot_sum = 0, uni_sum = 0;
+    const std::uint64_t n = 1000;
+    for (int i = 0; i < 20000; ++i) {
+        hot_sum += static_cast<double>(r.hotIndex(n, 0.7));
+        uni_sum += static_cast<double>(r.hotIndex(n, 0.0));
+    }
+    EXPECT_LT(hot_sum, uni_sum * 0.6);
+}
+
+TEST(Rng, HotIndexInRange)
+{
+    Rng r(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.hotIndex(33, 0.5), 33u);
+}
+
+TEST(Stats, Counter)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    Counter d;
+    d.inc(7);
+    c.merge(d);
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, Ratios)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+TEST(Stats, HistogramBasics)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(9);  // clamped into the last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Stats, HistogramMerge)
+{
+    Histogram a(3), b(3);
+    a.sample(0);
+    b.sample(2);
+    b.sample(2);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.count(2), 2u);
+}
+
+TEST(Stats, HistogramReset)
+{
+    Histogram h(2);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TextTable::num(1.5, 1), "1.5");
+    EXPECT_EQ(TextTable::pct(12.34, 1), "12.3%");
+    EXPECT_EQ(TextTable::count(42), "42");
+}
+
+TEST(Table, PrintAndCsvDoNotCrash)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"1", "longer"});
+    t.row({"x"});
+    std::FILE *dev_null = std::fopen("/dev/null", "w");
+    ASSERT_NE(dev_null, nullptr);
+    t.print(dev_null);
+    t.printCsv(dev_null);
+    std::fclose(dev_null);
+}
+
+TEST(Strings, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", 'x').size(), 1u);
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("EJ-32x4", "EJ-"));
+    EXPECT_FALSE(startsWith("EJ", "EJ-"));
+}
+
+TEST(Strings, ParseUnsigned)
+{
+    unsigned v = 0;
+    EXPECT_TRUE(parseUnsigned("123", v));
+    EXPECT_EQ(v, 123u);
+    EXPECT_FALSE(parseUnsigned("", v));
+    EXPECT_FALSE(parseUnsigned("12a", v));
+    EXPECT_FALSE(parseUnsigned("-3", v));
+    EXPECT_FALSE(parseUnsigned("99999999999", v));
+}
+
+TEST(Strings, TrimAndUpper)
+{
+    EXPECT_EQ(trim("  hi "), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(toUpper("ba"), "BA");
+}

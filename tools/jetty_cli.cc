@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Command-line driver for the jetty library: run any workload on any
+ * system variant with any set of filter configurations, print coverage
+ * and energy tables, or capture/replay binary traces.
+ *
+ * Usage:
+ *   jetty_cli run   [--app NAME] [--procs N] [--no-subblock]
+ *                   [--scale F] [--filters SPEC[,SPEC...]]
+ *   jetty_cli apps
+ *   jetty_cli trace --app NAME --proc P --out FILE [--limit N]
+ *   jetty_cli replay --in FILE[,FILE...] [--filters SPEC[,...]]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/filter_spec.hh"
+#include "experiments/experiments.hh"
+#include "sim/latency.hh"
+#include "trace/apps.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+using namespace jetty;
+
+namespace
+{
+
+/** Parse "--key value" style options into a map. */
+std::map<std::string, std::string>
+parseOptions(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> opts;
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (!startsWith(key, "--"))
+            fatal("expected an option, got '" + key + "'");
+        key = key.substr(2);
+        if (key == "no-subblock") {
+            opts[key] = "1";
+        } else {
+            if (i + 1 >= argc)
+                fatal("option --" + key + " needs a value");
+            opts[key] = argv[++i];
+        }
+    }
+    return opts;
+}
+
+/** Split a filter list on commas, but not inside HJ(...) parentheses. */
+std::vector<std::string>
+splitSpecs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(trim(cur));
+    return out;
+}
+
+std::vector<std::string>
+filterList(const std::map<std::string, std::string> &opts)
+{
+    std::vector<std::string> specs;
+    auto it = opts.find("filters");
+    if (it == opts.end()) {
+        specs = {"EJ-32x4", "IJ-10x4x7", "HJ(IJ-10x4x7,EJ-32x4)"};
+    } else {
+        specs = splitSpecs(it->second);
+    }
+    for (const auto &s : specs) {
+        if (!filter::isValidFilterSpec(s))
+            fatal("bad filter spec '" + s + "'");
+    }
+    return specs;
+}
+
+void
+printRunReport(const experiments::AppRunResult &run,
+               const experiments::SystemVariant &variant,
+               const std::vector<std::string> &specs)
+{
+    const auto agg = run.stats.aggregate();
+    std::printf("%s: %.1fM refs, L1 %.1f%%, L2 %.1f%%, snoops miss "
+                "%.1f%% of %.2fM probes\n\n",
+                run.appName.c_str(), agg.accesses / 1e6,
+                percent(agg.l1Hits, agg.accesses),
+                percent(agg.l2LocalHits, agg.l2LocalAccesses),
+                percent(agg.snoopMisses, agg.snoopTagProbes),
+                agg.snoopTagProbes / 1e6);
+
+    TextTable table;
+    table.header({"filter", "coverage", "snoopE saved(S)", "allE saved(S)",
+                  "snoopE saved(P)", "allE saved(P)", "mean snoop lat"});
+    for (const auto &spec : specs) {
+        const auto &fs = run.statsFor(spec);
+        const auto s = experiments::evaluateEnergy(
+            run, variant, spec, energy::AccessMode::Serial);
+        const auto p = experiments::evaluateEnergy(
+            run, variant, spec, energy::AccessMode::Parallel);
+        const auto lat = sim::evaluateLatency(fs);
+        table.row({
+            spec,
+            TextTable::pct(100.0 * fs.coverage()),
+            TextTable::pct(s.reductionOverSnoopsPct),
+            TextTable::pct(s.reductionOverAllPct),
+            TextTable::pct(p.reductionOverSnoopsPct),
+            TextTable::pct(p.reductionOverAllPct),
+            TextTable::num(lat.jettyMeanCycles, 1) + " cyc",
+        });
+    }
+    table.print();
+}
+
+int
+cmdRun(const std::map<std::string, std::string> &opts)
+{
+    experiments::SystemVariant variant;
+    if (opts.count("procs"))
+        variant.nprocs = static_cast<unsigned>(
+            std::atoi(opts.at("procs").c_str()));
+    if (opts.count("no-subblock"))
+        variant.subblocked = false;
+
+    const double scale =
+        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 0.25;
+    const std::string app =
+        opts.count("app") ? opts.at("app") : std::string("lu");
+    const auto specs = filterList(opts);
+
+    const auto run = experiments::runApp(trace::appByName(app), variant,
+                                         specs, scale);
+    printRunReport(run, variant, specs);
+    return 0;
+}
+
+int
+cmdApps()
+{
+    TextTable table;
+    table.header({"tag", "name", "streams", "refs/proc"});
+    for (const auto &app : trace::paperApps()) {
+        table.row({app.abbrev, app.name,
+                   TextTable::count(app.streams.size()),
+                   TextTable::count(app.accessesPerProc)});
+    }
+    table.row({"ts", "ThroughputServer (extra)", "1", "-"});
+    table.row({"ws", "WidelyShared (extra)", "2", "-"});
+    table.print();
+    return 0;
+}
+
+int
+cmdTrace(const std::map<std::string, std::string> &opts)
+{
+    if (!opts.count("app") || !opts.count("out"))
+        fatal("trace needs --app and --out");
+    const unsigned proc = opts.count("proc")
+                              ? static_cast<unsigned>(
+                                    std::atoi(opts.at("proc").c_str()))
+                              : 0;
+    const std::uint64_t limit =
+        opts.count("limit")
+            ? static_cast<std::uint64_t>(std::atoll(opts.at("limit").c_str()))
+            : 1'000'000;
+
+    trace::Workload workload(trace::appByName(opts.at("app")), 4);
+    auto src = workload.makeSource(proc);
+    const auto recs = trace::collect(*src, limit);
+    trace::writeTraceFile(opts.at("out"), recs);
+    std::printf("wrote %zu references to %s\n", recs.size(),
+                opts.at("out").c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::map<std::string, std::string> &opts)
+{
+    if (!opts.count("in"))
+        fatal("replay needs --in FILE[,FILE...] (one per processor)");
+    const auto files = split(opts.at("in"), ',');
+    if (files.size() < 2)
+        fatal("replay needs at least two trace files (one per processor)");
+
+    experiments::SystemVariant variant;
+    variant.nprocs = static_cast<unsigned>(files.size());
+    sim::SmpConfig cfg = variant.smpConfig();
+    cfg.filterSpecs = filterList(opts);
+
+    sim::SmpSystem sys(cfg);
+    std::vector<trace::TraceSourcePtr> sources;
+    for (const auto &f : files) {
+        sources.push_back(std::make_unique<trace::VectorTraceSource>(
+            trace::readTraceFile(trim(f))));
+    }
+    sys.attachSources(std::move(sources));
+    sys.run();
+
+    const auto agg = sys.stats().aggregate();
+    std::printf("replayed %.2fM refs on %zu processors; snoops miss "
+                "%.1f%%\n\n",
+                agg.accesses / 1e6, files.size(),
+                percent(agg.snoopMisses, agg.snoopTagProbes));
+    TextTable table;
+    table.header({"filter", "coverage"});
+    for (std::size_t i = 0; i < sys.bank(0).size(); ++i) {
+        const auto merged = sys.mergedFilterStats(i);
+        table.row({sys.bank(0).filterAt(i).name(),
+                   TextTable::pct(100.0 * merged.coverage())});
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: jetty_cli run|apps|trace|replay [options]\n");
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const auto opts = parseOptions(argc, argv, 2);
+    if (cmd == "run")
+        return cmdRun(opts);
+    if (cmd == "apps")
+        return cmdApps();
+    if (cmd == "trace")
+        return cmdTrace(opts);
+    if (cmd == "replay")
+        return cmdReplay(opts);
+    fatal("unknown command '" + cmd + "'");
+}
