@@ -22,6 +22,23 @@ main()
     // The 8-way runs issue twice the references; keep wall time in check.
     scale *= 0.5;
 
+    // Declare the whole 2-variant x 10-app cross-product up front so the
+    // sweep engine runs all twenty systems concurrently.
+    std::vector<experiments::RunRequest> requests;
+    for (unsigned nprocs : {4u, 8u}) {
+        experiments::SystemVariant variant;
+        variant.nprocs = nprocs;
+        for (const auto &app : trace::paperApps()) {
+            experiments::RunRequest req;
+            req.app = app;
+            req.variant = variant;
+            req.filterSpecs = {best};
+            req.accessScale = scale;
+            requests.push_back(std::move(req));
+        }
+    }
+    experiments::runMany(requests);
+
     TextTable table;
     table.header({"procs", "snoopMiss % of snoops", "snoopMiss % of all L2",
                   "HJ coverage"});

@@ -5,6 +5,11 @@
  *  (b) VEJ configurations VEJ-{32,16}x4-{8,4} with EJ-32x4/EJ-16x4 as
  *      references.
  *
+ * The bench is declarative: one up-front request covers every (app,
+ * filter) cell of both panels, the sweep engine simulates the apps
+ * concurrently, and each panel then pulls its own view from the run
+ * cache -- no app is simulated twice.
+ *
  * Paper reference: EJ-32x4 is best at ~45% average coverage; VEJ helps
  * slightly on most applications (most on Unstructured) but can lose to an
  * equally-sized EJ through set-index thrashing (Barnes).
@@ -21,11 +26,14 @@ using namespace jetty;
 namespace
 {
 
+/** Fetch the panel's runs from the experiment layer and tabulate. */
 void
-printCoverage(const char *title,
-              const std::vector<experiments::AppRunResult> &runs,
+printCoverage(const char *title, const experiments::SystemVariant &variant,
               const std::vector<std::string> &specs)
 {
+    const auto runs = experiments::runAllApps(variant, specs,
+                                              experiments::defaultScale());
+
     TextTable table;
     std::vector<std::string> head{"App"};
     for (const auto &s : specs)
@@ -58,17 +66,18 @@ int
 main()
 {
     experiments::SystemVariant variant;
+
+    // Declare every run both panels need; one parallel sweep fills the
+    // cache, and the per-panel pulls below are pure cache hits.
     std::vector<std::string> specs = filter::paperExcludeSpecs();
     for (const auto &s : filter::paperVectorExcludeSpecs())
         specs.push_back(s);
+    experiments::runAllApps(variant, specs, experiments::defaultScale());
 
-    const auto runs = experiments::runAllApps(variant, specs,
-                                              experiments::defaultScale());
-
-    printCoverage("Figure 4(a): Exclude-JETTY coverage", runs,
+    printCoverage("Figure 4(a): Exclude-JETTY coverage", variant,
                   filter::paperExcludeSpecs());
 
-    printCoverage("Figure 4(b): Vector-Exclude-JETTY coverage", runs,
+    printCoverage("Figure 4(b): Vector-Exclude-JETTY coverage", variant,
                   {"VEJ-32x4-8", "VEJ-32x4-4", "EJ-32x4", "VEJ-16x4-8",
                    "VEJ-16x4-4", "EJ-16x4"});
 

@@ -20,6 +20,23 @@ main()
 {
     const std::string best = "HJ(IJ-10x4x7,EJ-32x4)";
 
+    // Declare both variants' runs up front: one concurrent sweep over
+    // all twenty (app, variant) systems instead of two serial passes.
+    std::vector<experiments::RunRequest> requests;
+    for (bool subblocked : {true, false}) {
+        experiments::SystemVariant variant;
+        variant.subblocked = subblocked;
+        for (const auto &app : trace::paperApps()) {
+            experiments::RunRequest req;
+            req.app = app;
+            req.variant = variant;
+            req.filterSpecs = {best, "EJ-32x4"};
+            req.accessScale = experiments::defaultScale();
+            requests.push_back(std::move(req));
+        }
+    }
+    experiments::runMany(requests);
+
     TextTable table;
     table.header({"L2 blocks", "snoopMiss % of snoops",
                   "snoopMiss % of all L2", "HJ coverage", "EJ-32x4 cov"});

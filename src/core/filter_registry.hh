@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Extensible registry of JETTY filter families.
+ *
+ * Each family (NULL, EJ, VEJ, IJ, RF, HJ, ...) registers a spec parser
+ * together with its human-readable grammar, summary and canonical example.
+ * makeFilter() (filter_spec.hh) dispatches through the registry, so a new
+ * filter family plugs into the spec grammar, the CLI's `filters` listing
+ * and every bench without touching a central parser: register it with a
+ * FamilyRegistrar at namespace scope. Caveat: libjetty is a static
+ * archive, so the registrar must live in a translation unit the linker
+ * actually pulls in — the built-in families register from
+ * filter_registry.cc (always linked via makeFilter) for exactly that
+ * reason; put new registrars there, or in any TU the program already
+ * references.
+ *
+ * Registration happens during static initialization (single-threaded);
+ * after that the registry is immutable and safe to query from concurrent
+ * SweepRunner workers.
+ */
+
+#ifndef JETTY_CORE_FILTER_REGISTRY_HH
+#define JETTY_CORE_FILTER_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/snoop_filter.hh"
+
+namespace jetty::filter
+{
+
+/** One self-describing filter family. */
+struct FilterFamily
+{
+    /**
+     * Try to parse @p spec as a member of this family.
+     * @return false when @p spec does not belong to the family or is
+     *         malformed. When @p out is null the parse only validates.
+     */
+    using ParseFn = bool (*)(const std::string &spec, const AddressMap &amap,
+                             SnoopFilterPtr *out);
+
+    std::string key;      //!< short family name, e.g. "EJ"
+    std::string grammar;  //!< spec grammar, e.g. "EJ-<sets>x<assoc>"
+    std::string summary;  //!< one-line description for the CLI listing
+    std::string example;  //!< a canonical spec, e.g. "EJ-32x4"
+    ParseFn parse = nullptr;
+};
+
+/** The process-wide family registry. */
+class FilterRegistry
+{
+  public:
+    /** The singleton instance (created on first use). */
+    static FilterRegistry &instance();
+
+    /** Add a family. Calls fatal() on a duplicate key or null parser. */
+    void registerFamily(FilterFamily family);
+
+    /**
+     * Dispatch @p spec to the families in registration order.
+     * @return true when some family accepted it; with a non-null @p out
+     *         the built filter is stored there.
+     */
+    bool tryMake(const std::string &spec, const AddressMap &amap,
+                 SnoopFilterPtr *out) const;
+
+    /** Registered family keys, sorted alphabetically. */
+    std::vector<std::string> listFamilies() const;
+
+    /** The family registered under @p key, or nullptr. */
+    const FilterFamily *family(const std::string &key) const;
+
+    /** All families, in registration order. */
+    const std::vector<FilterFamily> &families() const { return families_; }
+
+  private:
+    FilterRegistry() = default;
+
+    std::vector<FilterFamily> families_;
+};
+
+/** Registers a family at static-initialization time. */
+class FamilyRegistrar
+{
+  public:
+    explicit FamilyRegistrar(FilterFamily family)
+    {
+        FilterRegistry::instance().registerFamily(std::move(family));
+    }
+};
+
+} // namespace jetty::filter
+
+#endif // JETTY_CORE_FILTER_REGISTRY_HH

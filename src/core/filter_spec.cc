@@ -1,137 +1,16 @@
 #include "core/filter_spec.hh"
 
-#include "core/exclude_jetty.hh"
-#include "core/hybrid_jetty.hh"
-#include "core/include_jetty.hh"
-#include "core/null_filter.hh"
-#include "core/region_filter.hh"
-#include "core/vector_exclude_jetty.hh"
+#include "core/filter_registry.hh"
 #include "util/logging.hh"
-#include "util/string_utils.hh"
 
 namespace jetty::filter
 {
-
-namespace
-{
-
-/** Parse "AxB" or "AxBxC" numeric tuples. */
-bool
-parseTuple(const std::string &body, std::vector<unsigned> &out)
-{
-    out.clear();
-    for (const auto &part : split(body, 'x')) {
-        unsigned v = 0;
-        if (!parseUnsigned(part, v))
-            return false;
-        out.push_back(v);
-    }
-    return true;
-}
-
-bool
-tryMake(const std::string &raw, const AddressMap &amap, SnoopFilterPtr *out)
-{
-    const std::string spec = trim(raw);
-    if (spec.empty())
-        return false;
-
-    if (toUpper(spec) == "NULL") {
-        if (out)
-            *out = std::make_unique<NullFilter>();
-        return true;
-    }
-
-    if (startsWith(spec, "HJ(") && spec.back() == ')') {
-        const std::string inner = spec.substr(3, spec.size() - 4);
-        // Split at the top-level comma (components contain no parens).
-        const auto comma = inner.find(',');
-        if (comma == std::string::npos)
-            return false;
-        SnoopFilterPtr ij, ej;
-        if (!tryMake(inner.substr(0, comma), amap, out ? &ij : nullptr))
-            return false;
-        if (!tryMake(inner.substr(comma + 1), amap, out ? &ej : nullptr))
-            return false;
-        if (out)
-            *out = std::make_unique<HybridJetty>(std::move(ij),
-                                                 std::move(ej));
-        return true;
-    }
-
-    if (startsWith(spec, "VEJ-")) {
-        const auto parts = split(spec.substr(4), '-');
-        if (parts.size() != 2)
-            return false;
-        std::vector<unsigned> t;
-        unsigned vec = 0;
-        if (!parseTuple(parts[0], t) || t.size() != 2 ||
-            !parseUnsigned(parts[1], vec)) {
-            return false;
-        }
-        VectorExcludeJettyConfig cfg;
-        cfg.sets = t[0];
-        cfg.assoc = t[1];
-        cfg.vectorBits = vec;
-        if (out)
-            *out = std::make_unique<VectorExcludeJetty>(cfg, amap);
-        return true;
-    }
-
-    if (startsWith(spec, "EJ-")) {
-        std::vector<unsigned> t;
-        if (!parseTuple(spec.substr(3), t) || t.size() != 2)
-            return false;
-        ExcludeJettyConfig cfg;
-        cfg.sets = t[0];
-        cfg.assoc = t[1];
-        if (out)
-            *out = std::make_unique<ExcludeJetty>(cfg, amap);
-        return true;
-    }
-
-    if (startsWith(spec, "RF-")) {
-        std::vector<unsigned> t;
-        if (!parseTuple(spec.substr(3), t) || t.size() != 2)
-            return false;
-        RegionFilterConfig cfg;
-        cfg.entryBits = t[0];
-        cfg.regionBits = t[1];
-        if (out)
-            *out = std::make_unique<RegionFilter>(cfg, amap);
-        return true;
-    }
-
-    if (startsWith(spec, "IJ-")) {
-        std::string body = spec.substr(3);
-        IjIndexBase base = IjIndexBase::Block;
-        if (!body.empty() && (body.back() == 'u' || body.back() == 'U')) {
-            base = IjIndexBase::Unit;
-            body.pop_back();
-        }
-        std::vector<unsigned> t;
-        if (!parseTuple(body, t) || t.size() != 3)
-            return false;
-        IncludeJettyConfig cfg;
-        cfg.entryBits = t[0];
-        cfg.arrays = t[1];
-        cfg.skipBits = t[2];
-        cfg.base = base;
-        if (out)
-            *out = std::make_unique<IncludeJetty>(cfg, amap);
-        return true;
-    }
-
-    return false;
-}
-
-} // namespace
 
 SnoopFilterPtr
 makeFilter(const std::string &spec, const AddressMap &amap)
 {
     SnoopFilterPtr out;
-    if (!tryMake(spec, amap, &out))
+    if (!FilterRegistry::instance().tryMake(spec, amap, &out))
         fatal("makeFilter: malformed filter spec '" + spec + "'");
     return out;
 }
@@ -140,9 +19,15 @@ bool
 isValidFilterSpec(const std::string &spec)
 {
     // Validation instantiates nothing but must still range-check: reuse
-    // the parser in no-output mode (geometry errors surface as fatal() on
+    // the parsers in no-output mode (geometry errors surface as fatal() on
     // real construction, which is the documented contract).
-    return tryMake(spec, AddressMap{}, nullptr);
+    return FilterRegistry::instance().tryMake(spec, AddressMap{}, nullptr);
+}
+
+std::string
+canonicalFilterName(const std::string &spec, const AddressMap &amap)
+{
+    return makeFilter(spec, amap)->name();
 }
 
 std::vector<std::string>

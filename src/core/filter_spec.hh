@@ -12,6 +12,10 @@
  *   "RF-<E>x<R>"                   coarse region filter (extension),
  *                                  2^E entries over 2^R-byte regions
  *   "HJ(<ij-spec>,<e-spec>)"       hybrid, e.g. "HJ(IJ-10x4x7,EJ-32x4)"
+ *
+ * Each family's parser lives in the FilterRegistry (filter_registry.hh);
+ * makeFilter() dispatches through it, so new families extend the grammar
+ * by registering themselves instead of editing a central parser.
  */
 
 #ifndef JETTY_CORE_FILTER_SPEC_HH
@@ -35,6 +39,14 @@ SnoopFilterPtr makeFilter(const std::string &spec, const AddressMap &amap);
 
 /** True when @p spec parses (without instantiating on failure). */
 bool isValidFilterSpec(const std::string &spec);
+
+/**
+ * The canonical name of the filter @p spec builds (e.g. "null" ->
+ * "NULL"). Canonical names round-trip: they parse back to an identical
+ * filter. Calls fatal() on a malformed spec.
+ */
+std::string canonicalFilterName(const std::string &spec,
+                                const AddressMap &amap);
 
 /** The paper's evaluated configurations, for the benches. */
 std::vector<std::string> paperExcludeSpecs();        //!< Figure 4(a)

@@ -1,6 +1,11 @@
 #include "experiments/experiments.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
 
 #include "core/filter_spec.hh"
 #include "util/logging.hh"
@@ -98,50 +103,401 @@ defaultScale()
     return 1.0;
 }
 
+// ---- The keyed run cache ---------------------------------------------
+
+namespace
+{
+
+/** FNV-1a over the fields that determine a profile's reference streams. */
+class Fnv
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        hash_ ^= v;
+        hash_ *= 0x100000001b3ULL;
+    }
+
+    void
+    mix(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(static_cast<std::uint64_t>(s.size()));
+        for (char c : s)
+            mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t
+profileFingerprint(const trace::AppProfile &app)
+{
+    Fnv fnv;
+    fnv.mix(app.name);
+    fnv.mix(app.seed);
+    fnv.mix(app.accessesPerProc);
+    fnv.mix(app.reuseProb);
+    fnv.mix(static_cast<std::uint64_t>(app.wordBytes));
+    for (const auto &s : app.streams) {
+        fnv.mix(static_cast<std::uint64_t>(s.kind));
+        fnv.mix(s.weight);
+        fnv.mix(s.bytes);
+        fnv.mix(s.writeFraction);
+        fnv.mix(s.residentBytes);
+        fnv.mix(s.residentFraction);
+        fnv.mix(s.residentHotBias);
+        fnv.mix(static_cast<std::uint64_t>(s.burstBytes));
+        fnv.mix(static_cast<std::uint64_t>(s.epochLen));
+        fnv.mix(static_cast<std::uint64_t>(s.objectBytes));
+        fnv.mix(s.hotBias);
+        fnv.mix(s.remoteFraction);
+        fnv.mix(s.boundaryBytes);
+    }
+    return fnv.value();
+}
+
+/** Cache key: one simulated (app, variant, scale) triple. */
+struct RunKey
+{
+    std::uint64_t profile = 0;
+    unsigned nprocs = 0;
+    bool subblocked = true;
+    std::uint64_t scaleBits = 0;
+
+    bool
+    operator<(const RunKey &o) const
+    {
+        if (profile != o.profile)
+            return profile < o.profile;
+        if (nprocs != o.nprocs)
+            return nprocs < o.nprocs;
+        if (subblocked != o.subblocked)
+            return subblocked < o.subblocked;
+        return scaleBits < o.scaleBits;
+    }
+};
+
+RunKey
+makeKey(const trace::AppProfile &app, const SystemVariant &variant,
+        double scale)
+{
+    RunKey key;
+    key.profile = profileFingerprint(app);
+    key.nprocs = variant.nprocs;
+    key.subblocked = variant.subblocked;
+    std::memcpy(&key.scaleBits, &scale, sizeof(key.scaleBits));
+    return key;
+}
+
+/** One cached simulation: the full result plus the specs it covers. */
+struct CacheEntry
+{
+    AppRunResult result{0};
+    std::set<std::string> covered;  //!< canonical names in result
+};
+
+AppRunResult
+fromSweep(const trace::AppProfile &app, sim::SweepResult &&sweep)
+{
+    // The stats assignment below carries the variant's true processor
+    // count (SmpSystem built it), so no explicit sizing is needed here.
+    AppRunResult res;
+    res.appName = app.name;
+    res.abbrev = app.abbrev;
+    res.memoryAllocated = sweep.memoryAllocated;
+    res.stats = std::move(sweep.stats);
+    res.filterNames = std::move(sweep.filterNames);
+    res.filterStats = std::move(sweep.filterStats);
+    res.filterCosts = std::move(sweep.filterCosts);
+    res.traffic = sweep.traffic;
+    return res;
+}
+
+/** Restrict @p full to @p names (each present in full.filterNames). */
+AppRunResult
+project(const AppRunResult &full, const std::vector<std::string> &names)
+{
+    AppRunResult out = full;
+    out.filterNames.clear();
+    out.filterStats.clear();
+    out.filterCosts.clear();
+    for (const auto &name : names) {
+        out.filterNames.push_back(name);
+        out.filterStats.push_back(full.statsFor(name));
+        out.filterCosts.push_back(full.costsFor(name));
+    }
+    return out;
+}
+
+} // namespace
+
+struct RunCache::Impl
+{
+    mutable std::mutex mu;
+    std::map<RunKey, CacheEntry> entries;
+    std::uint64_t sims = 0;
+    std::uint64_t hits = 0;
+};
+
+RunCache::RunCache() : impl_(std::make_unique<Impl>()) {}
+RunCache::~RunCache() = default;
+
+RunCache &
+RunCache::instance()
+{
+    static RunCache cache;
+    return cache;
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->entries.clear();
+    impl_->sims = 0;
+    impl_->hits = 0;
+}
+
+std::uint64_t
+RunCache::simulations() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->sims;
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->hits;
+}
+
+// ---- Declarative runs ------------------------------------------------
+
+std::vector<AppRunResult>
+runMany(const std::vector<RunRequest> &requests, unsigned jobs)
+{
+    auto &cache = *RunCache::instance().impl_;
+
+    // Resolve each request: scale, cache key, canonical spec names
+    // (deduplicated, first-occurrence order). Canonical names round-trip
+    // through the registry, so they double as the simulation's spec list.
+    struct Prepared
+    {
+        RunKey key;
+        std::vector<std::string> names;
+    };
+    // Canonicalization builds a filter to read its name; memoize per
+    // (spec, address-map geometry) so a sweep over many apps pays it
+    // once per spec, not once per request.
+    std::map<std::string, std::string> canon;
+    const auto canonical = [&canon](const std::string &spec,
+                                    const filter::AddressMap &amap) {
+        std::string memo_key = spec;
+        for (std::uint64_t v :
+             {static_cast<std::uint64_t>(amap.unitOffsetBits),
+              static_cast<std::uint64_t>(amap.blockOffsetBits),
+              static_cast<std::uint64_t>(amap.physAddrBits),
+              amap.l2CapacityUnits}) {
+            memo_key += '|' + std::to_string(v);
+        }
+        auto it = canon.find(memo_key);
+        if (it == canon.end()) {
+            it = canon.emplace(memo_key,
+                               filter::canonicalFilterName(spec, amap))
+                     .first;
+        }
+        return it->second;
+    };
+
+    std::vector<Prepared> prepared(requests.size());
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+        const RunRequest &req = requests[r];
+        const double scale =
+            req.accessScale > 0 ? req.accessScale : defaultScale();
+        const filter::AddressMap amap =
+            req.variant.smpConfig().addressMap();
+        prepared[r].key = makeKey(req.app, req.variant, scale);
+        for (const auto &spec : req.filterSpecs) {
+            const std::string name = canonical(spec, amap);
+            auto &names = prepared[r].names;
+            if (std::find(names.begin(), names.end(), name) == names.end())
+                names.push_back(name);
+        }
+    }
+
+    // Decide, under the lock, which keys need a (re-)simulation. A key
+    // re-simulates when no entry covers the requested names; the new job
+    // evaluates the union of the old entry's specs and every name this
+    // batch requests for the key, so the replacement covers both.
+    struct PendingJob
+    {
+        std::size_t request = 0;  //!< exemplar request (app/variant/scale)
+        std::vector<std::string> names;
+    };
+    std::map<RunKey, PendingJob> pending;
+    {
+        std::lock_guard<std::mutex> lock(cache.mu);
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            const Prepared &p = prepared[r];
+            const auto pend_it = pending.find(p.key);
+            if (pend_it == pending.end()) {
+                const auto it = cache.entries.find(p.key);
+                bool covered = it != cache.entries.end();
+                if (covered) {
+                    for (const auto &name : p.names)
+                        covered = covered && it->second.covered.count(name);
+                }
+                if (covered) {
+                    ++cache.hits;
+                    continue;
+                }
+                PendingJob job;
+                job.request = r;
+                if (it != cache.entries.end())
+                    job.names = it->second.result.filterNames;
+                for (const auto &name : p.names) {
+                    if (std::find(job.names.begin(), job.names.end(),
+                                  name) == job.names.end()) {
+                        job.names.push_back(name);
+                    }
+                }
+                pending.emplace(p.key, std::move(job));
+            } else {
+                for (const auto &name : p.names) {
+                    auto &names = pend_it->second.names;
+                    if (std::find(names.begin(), names.end(), name) ==
+                        names.end()) {
+                        names.push_back(name);
+                    }
+                }
+            }
+        }
+    }
+
+    // One concurrent sweep over the misses. Job order follows the key
+    // order (a std::map), so the batch is deterministic however the
+    // requests were interleaved and whatever jobs count runs it.
+    if (!pending.empty()) {
+        std::vector<const PendingJob *> order;
+        std::vector<sim::SweepJob> sweepJobs;
+        for (const auto &[key, job] : pending) {
+            (void)key;
+            const RunRequest &req = requests[job.request];
+            sim::SweepJob sj;
+            sj.app = req.app;
+            sj.cfg = req.variant.smpConfig();
+            sj.cfg.filterSpecs = job.names;
+            sj.accessScale =
+                req.accessScale > 0 ? req.accessScale : defaultScale();
+            sweepJobs.push_back(std::move(sj));
+            order.push_back(&job);
+        }
+
+        // The default path shares one persistent pool across every
+        // runMany call in the process (SweepRunner's pool is built to be
+        // reused); an explicit jobs override gets a dedicated runner,
+        // capped at the batch size so a small batch doesn't spawn a
+        // large pool it cannot feed.
+        std::vector<sim::SweepResult> results;
+        if (jobs == 0) {
+            static sim::SweepRunner shared;
+            results = shared.run(sweepJobs);
+        } else {
+            sim::SweepRunner runner(static_cast<unsigned>(
+                std::min<std::size_t>(jobs, sweepJobs.size())));
+            results = runner.run(sweepJobs);
+        }
+
+        std::lock_guard<std::mutex> lock(cache.mu);
+        std::size_t i = 0;
+        for (const auto &[key, job] : pending) {
+            const RunRequest &req = requests[job.request];
+            AppRunResult merged = fromSweep(req.app, std::move(results[i]));
+            // Merge rather than overwrite: a concurrent runMany may have
+            // stored filters this job did not evaluate. Simulations of
+            // the same key are deterministic and filters are passive
+            // observers, so folding their per-filter stats into this
+            // run's result is exact; coverage only ever grows, which is
+            // what keeps the projection below (and other threads')
+            // lookups safe.
+            CacheEntry &entry = cache.entries[key];
+            for (std::size_t f = 0; f < entry.result.filterNames.size();
+                 ++f) {
+                const auto &name = entry.result.filterNames[f];
+                if (std::find(merged.filterNames.begin(),
+                              merged.filterNames.end(),
+                              name) == merged.filterNames.end()) {
+                    merged.filterNames.push_back(name);
+                    merged.filterStats.push_back(entry.result.filterStats[f]);
+                    merged.filterCosts.push_back(entry.result.filterCosts[f]);
+                }
+            }
+            entry.result = std::move(merged);
+            entry.covered.insert(entry.result.filterNames.begin(),
+                                 entry.result.filterNames.end());
+            ++cache.sims;
+            ++i;
+        }
+    }
+
+    // Assemble the answers in request order, restricted to each
+    // request's own specs.
+    std::vector<AppRunResult> out;
+    out.reserve(requests.size());
+    {
+        std::lock_guard<std::mutex> lock(cache.mu);
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            const auto it = cache.entries.find(prepared[r].key);
+            if (it == cache.entries.end())
+                panic("runMany: request missing from the run cache");
+            out.push_back(project(it->second.result, prepared[r].names));
+        }
+    }
+    return out;
+}
+
 AppRunResult
 runApp(const trace::AppProfile &app, const SystemVariant &variant,
        const std::vector<std::string> &filterSpecs, double accessScale)
 {
-    if (accessScale <= 0)
-        accessScale = defaultScale();
-
-    sim::SmpConfig cfg = variant.smpConfig();
-    cfg.filterSpecs = filterSpecs;
-
-    trace::Workload workload(app, cfg.nprocs, accessScale);
-    sim::SmpSystem system(cfg);
-
-    std::vector<trace::TraceSourcePtr> sources;
-    for (unsigned p = 0; p < cfg.nprocs; ++p)
-        sources.push_back(workload.makeSource(p));
-    system.attachSources(std::move(sources));
-    system.run();
-
-    AppRunResult res;
-    res.appName = app.name;
-    res.abbrev = app.abbrev;
-    res.memoryAllocated = workload.memoryAllocated();
-    res.stats = system.stats();
-    res.traffic = system.mergedTraffic();
-
-    const energy::Technology tech = energy::Technology::micron180();
-    const auto &bank = system.bank(0);
-    for (std::size_t i = 0; i < bank.size(); ++i) {
-        res.filterNames.push_back(bank.filterAt(i).name());
-        res.filterStats.push_back(system.mergedFilterStats(i));
-        res.filterCosts.push_back(bank.filterAt(i).energyCosts(tech));
-    }
-    return res;
+    RunRequest req;
+    req.app = app;
+    req.variant = variant;
+    req.filterSpecs = filterSpecs;
+    req.accessScale = accessScale;
+    std::vector<RunRequest> requests;
+    requests.push_back(std::move(req));
+    return std::move(runMany(requests).front());
 }
 
 std::vector<AppRunResult>
 runAllApps(const SystemVariant &variant,
-           const std::vector<std::string> &specs, double accessScale)
+           const std::vector<std::string> &specs, double accessScale,
+           unsigned jobs)
 {
-    std::vector<AppRunResult> out;
-    for (const auto &app : trace::paperApps())
-        out.push_back(runApp(app, variant, specs, accessScale));
-    return out;
+    std::vector<RunRequest> requests;
+    for (const auto &app : trace::paperApps()) {
+        RunRequest req;
+        req.app = app;
+        req.variant = variant;
+        req.filterSpecs = specs;
+        req.accessScale = accessScale;
+        requests.push_back(std::move(req));
+    }
+    return runMany(requests, jobs);
 }
 
 EnergyResult

@@ -1,14 +1,23 @@
 /**
  * @file
  * Shared experiment kit for the bench harness: canonical paper
- * configurations, one-call application runs, per-app result bundles, and
- * energy evaluation helpers. Every bench binary (one per paper table and
- * figure) builds on these.
+ * configurations, declarative application runs, per-app result bundles,
+ * and energy evaluation helpers. Every bench binary (one per paper table
+ * and figure) builds on these.
+ *
+ * Runs are served through a process-wide keyed cache (RunCache) backed by
+ * the parallel SweepRunner engine: benches *request* runs declaratively —
+ * runApp()/runMany()/runAllApps() — and identical (app, variant, scale)
+ * pairs simulate exactly once per process, whatever order the tables and
+ * panels pull them in. Because the filter bank is a passive observer, a
+ * cached simulation covering a superset of the requested filter specs
+ * answers the request exactly.
  */
 
 #ifndef JETTY_EXPERIMENTS_EXPERIMENTS_HH
 #define JETTY_EXPERIMENTS_EXPERIMENTS_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,7 +25,7 @@
 #include "core/filter_bank.hh"
 #include "energy/accountant.hh"
 #include "energy/cache_energy.hh"
-#include "sim/smp_system.hh"
+#include "sim/sweep.hh"
 #include "trace/apps.hh"
 #include "trace/synthetic.hh"
 
@@ -42,10 +51,13 @@ std::vector<std::string> allPaperFilterSpecs();
 /** Results of running one application on one system variant. */
 struct AppRunResult
 {
+    /** @param nprocs sizes the per-processor stats block. */
+    explicit AppRunResult(unsigned nprocs = 0) : stats(nprocs) {}
+
     std::string appName;
     std::string abbrev;
     std::uint64_t memoryAllocated = 0;
-    sim::SimStats stats{4};
+    sim::SimStats stats;
 
     /** Names of the evaluated filters, parallel to filterStats. */
     std::vector<std::string> filterNames;
@@ -64,6 +76,31 @@ struct AppRunResult
     const energy::FilterEnergyCosts &costsFor(const std::string &name) const;
 };
 
+/** One declaratively requested run. */
+struct RunRequest
+{
+    trace::AppProfile app;
+    SystemVariant variant;
+    std::vector<std::string> filterSpecs;
+
+    /** Scales the reference count (defaultScale() when <= 0). */
+    double accessScale = -1.0;
+};
+
+/**
+ * Serve @p requests: cache hits are answered directly, the misses are
+ * simulated concurrently by one SweepRunner sweep, and every result is
+ * remembered for the rest of the process.
+ *
+ * @param jobs worker threads for the sweep (0 = SweepRunner default).
+ *             Results are bit-identical for every value of @p jobs.
+ * @return one result per request, in request order, restricted to the
+ *         requested filter specs (by canonical name, first-occurrence
+ *         order).
+ */
+std::vector<AppRunResult> runMany(const std::vector<RunRequest> &requests,
+                                  unsigned jobs = 0);
+
 /**
  * Run application @p app on @p variant evaluating @p filterSpecs.
  * @param accessScale scales the reference count (JETTY_SCALE env or
@@ -74,13 +111,46 @@ AppRunResult runApp(const trace::AppProfile &app,
                     const std::vector<std::string> &filterSpecs,
                     double accessScale = -1.0);
 
-/** Run all ten paper applications (Table 2 order). */
+/** Run all ten paper applications (Table 2 order), concurrently. */
 std::vector<AppRunResult> runAllApps(const SystemVariant &variant,
                                      const std::vector<std::string> &specs,
-                                     double accessScale = -1.0);
+                                     double accessScale = -1.0,
+                                     unsigned jobs = 0);
 
 /** The access scale used by benches: 1.0, or the JETTY_SCALE env var. */
 double defaultScale();
+
+/**
+ * The process-wide run cache behind runApp()/runMany()/runAllApps(),
+ * keyed by (app identity, nprocs, subblocked, scale). A request whose
+ * filter specs are covered by the cached entry is a hit; otherwise the
+ * pair re-simulates once with the union of the old and new specs.
+ * Thread-safe.
+ */
+class RunCache
+{
+  public:
+    static RunCache &instance();
+
+    /** Forget every cached run (tests). */
+    void clear();
+
+    /** Simulations actually executed (cache misses) since start/clear. */
+    std::uint64_t simulations() const;
+
+    /** Requests answered without simulating since start/clear. */
+    std::uint64_t hits() const;
+
+  private:
+    RunCache();
+    ~RunCache();
+
+    friend std::vector<AppRunResult>
+    runMany(const std::vector<RunRequest> &, unsigned);
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /** Energy-reduction summary of one filter on one run. */
 struct EnergyResult

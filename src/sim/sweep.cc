@@ -1,0 +1,141 @@
+#include "sim/sweep.hh"
+
+#include <cstdlib>
+
+#include "energy/technology.hh"
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace jetty::sim
+{
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("JETTY_JOBS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("ignoring non-positive JETTY_JOBS");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs >= 1 ? jobs : defaultJobs())
+{
+    // A single worker would only add queue overhead: jobs_ == 1 runs
+    // inline on the calling thread (see run()), which also keeps the
+    // serial reference path trivially schedule-free.
+    if (jobs_ < 2)
+        return;
+    workers_.reserve(jobs_);
+    for (unsigned w = 0; w < jobs_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+SweepRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and the queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobList)
+{
+    std::vector<SweepResult> results(jobList.size());
+
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < jobList.size(); ++i)
+            results[i] = runOne(jobList[i]);
+        return results;
+    }
+
+    // Per-batch completion state: each task writes its own slot, so the
+    // result vector is identical whatever order the workers pick jobs.
+    struct Batch
+    {
+        std::mutex mu;
+        std::condition_variable done;
+        std::size_t remaining = 0;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = jobList.size();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < jobList.size(); ++i) {
+            queue_.push_back([&results, &jobList, i, batch] {
+                results[i] = runOne(jobList[i]);
+                std::lock_guard<std::mutex> done_lock(batch->mu);
+                if (--batch->remaining == 0)
+                    batch->done.notify_all();
+            });
+        }
+    }
+    cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+    return results;
+}
+
+SweepResult
+SweepRunner::runOne(const SweepJob &job)
+{
+    trace::AppProfile app = job.app;
+    app.seed += job.seedOffset;
+
+    const trace::Workload workload(app, job.cfg.nprocs, job.accessScale,
+                                   job.pageSpread);
+    SmpSystem system(job.cfg);
+
+    std::vector<trace::TraceSourcePtr> sources;
+    sources.reserve(job.cfg.nprocs);
+    for (unsigned p = 0; p < job.cfg.nprocs; ++p)
+        sources.push_back(workload.makeSource(p));
+    system.attachSources(std::move(sources));
+    system.run();
+
+    SweepResult res;
+    res.memoryAllocated = workload.memoryAllocated();
+    res.stats = system.stats();
+    res.traffic = system.mergedTraffic();
+
+    const energy::Technology tech = energy::Technology::micron180();
+    const auto &bank = system.bank(0);
+    res.filterNames.reserve(bank.size());
+    res.filterStats.reserve(bank.size());
+    res.filterCosts.reserve(bank.size());
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        res.filterNames.push_back(bank.filterAt(i).name());
+        res.filterStats.push_back(system.mergedFilterStats(i));
+        res.filterCosts.push_back(bank.filterAt(i).energyCosts(tech));
+    }
+    return res;
+}
+
+} // namespace jetty::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SweepRunner: the parallel sweep engine under the experiment kit.
+ *
+ * The paper's evaluation is a cross-product — every JETTY configuration ×
+ * every application × every system variant. Each cell of that product is
+ * an independent, deterministic simulation: one SmpSystem, one Workload,
+ * no shared mutable state. SweepRunner exploits that by owning a worker
+ * thread pool and running many (app, variant) jobs concurrently.
+ *
+ * Determinism contract (DESIGN.md): a job's result depends only on the
+ * job description — the workload is seeded from the profile alone and the
+ * result lands at the job's index — so `jobs=1` and `jobs=N` produce
+ * bit-identical result vectors. The thread pool changes wall-clock time,
+ * never numbers.
+ */
+
+#ifndef JETTY_SIM_SWEEP_HH
+#define JETTY_SIM_SWEEP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/filter_bank.hh"
+#include "energy/accountant.hh"
+#include "sim/sim_stats.hh"
+#include "sim/smp_system.hh"
+#include "trace/app_profile.hh"
+
+namespace jetty::sim
+{
+
+/** One cell of the evaluation cross-product. */
+struct SweepJob
+{
+    /** Workload definition; the simulation seeds from app.seed alone. */
+    trace::AppProfile app;
+
+    /** System to instantiate, including cfg.filterSpecs to evaluate. */
+    SmpConfig cfg;
+
+    /** Multiplies app.accessesPerProc (tests use << 1.0). */
+    double accessScale = 1.0;
+
+    /** Physical/virtual footprint ratio of the page table. */
+    unsigned pageSpread = 8;
+
+    /** Mixed into the profile seed, so one app definition can run as
+     *  several distinct-trace jobs deterministically. */
+    std::uint64_t seedOffset = 0;
+};
+
+/** Everything one job's simulation produced. */
+struct SweepResult
+{
+    std::uint64_t memoryAllocated = 0;
+    SimStats stats{0};
+
+    /** Canonical names of the evaluated filters, in bank order. */
+    std::vector<std::string> filterNames;
+
+    /** Per-filter stats merged over all processors. */
+    std::vector<filter::FilterStats> filterStats;
+
+    /** Per-filter per-event energies (J). */
+    std::vector<energy::FilterEnergyCosts> filterCosts;
+
+    /** L2 traffic merged over all processors. */
+    energy::L2Traffic traffic;
+};
+
+/**
+ * The engine: a fixed pool of worker threads draining a job queue.
+ * run() may be called repeatedly; the pool persists across calls.
+ * Concurrent run() calls are safe — each batch tracks its own
+ * completion, and the pool drains both queues' jobs interleaved.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 selects defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** Worker count this runner was built with. */
+    unsigned jobs() const { return jobs_; }
+
+    /** The JETTY_JOBS environment variable, or the hardware thread
+     *  count (at least 1). */
+    static unsigned defaultJobs();
+
+    /**
+     * Run every job, concurrently when jobs() > 1.
+     * @return one result per job, in job order, independent of jobs().
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /** Simulate a single job synchronously on the calling thread. */
+    static SweepResult runOne(const SweepJob &job);
+
+  private:
+    void workerLoop();
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+};
+
+} // namespace jetty::sim
+
+#endif // JETTY_SIM_SWEEP_HH

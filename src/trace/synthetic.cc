@@ -45,7 +45,7 @@ class SyntheticSource : public TraceSource
                     unsigned nprocs, ProcId proc, std::uint64_t accesses,
                     const std::vector<StreamLayout> &layouts)
         : workload_(workload), profile_(profile), nprocs_(nprocs),
-          proc_(proc), remaining_(accesses),
+          proc_(proc), accesses_(accesses), remaining_(accesses),
           rng_(profile.seed * 0x9e3779b97f4a7c15ULL + proc * 7919 + 1)
     {
         streams_.reserve(layouts.size());
@@ -66,6 +66,39 @@ class SyntheticSource : public TraceSource
             st.cumWeight = cum;
         }
         reuseRing_.assign(32, 0);
+    }
+
+    void
+    reset() override
+    {
+        remaining_ = accesses_;
+        issued_ = 0;
+        rng_ = Rng(profile_.seed * 0x9e3779b97f4a7c15ULL + proc_ * 7919 + 1);
+        for (auto &st : streams_) {
+            st.pos = 0;
+            st.accesses = 0;
+            st.runLeft = 0;
+            st.runAddr = 0;
+            st.runBase = 0;
+            st.runBytes = 0;
+        }
+        reuseRing_.assign(32, 0);
+        reusePos_ = 0;
+        reuseFill_ = 0;
+    }
+
+    TraceSourcePtr
+    clone() const override
+    {
+        // The clone replays the full stream from the start; it shares the
+        // Workload (read-only: layout facts and the page table) with its
+        // origin, which is what lets one workload feed many systems.
+        std::vector<StreamLayout> layouts;
+        layouts.reserve(streams_.size());
+        for (const auto &st : streams_)
+            layouts.push_back(st.layout);
+        return std::make_unique<SyntheticSource>(
+            workload_, profile_, nprocs_, proc_, accesses_, layouts);
     }
 
     bool
@@ -168,6 +201,7 @@ class SyntheticSource : public TraceSource
     const AppProfile profile_;
     const unsigned nprocs_;
     const ProcId proc_;
+    const std::uint64_t accesses_;  //!< full stream length (for reset/clone)
     std::uint64_t remaining_;
     std::uint64_t issued_ = 0;
     Rng rng_;

@@ -61,7 +61,11 @@ class Workload
     /** Translate a virtual address to its scattered physical address. */
     Addr translate(Addr vaddr) const;
 
-    /** The deterministic reference stream of processor @p proc. */
+    /** The deterministic reference stream of processor @p proc. The
+     *  source (and any clone() of it) reads this Workload's layout and
+     *  page table and must not outlive it; one Workload can feed many
+     *  concurrently running systems because that shared state is
+     *  immutable after construction. */
     TraceSourcePtr makeSource(ProcId proc) const;
 
     /** Total bytes of address space the profile touches (the paper's

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the self-registering filter-family registry: enumeration,
+ * per-family help, spec round-trips (parse -> name() -> parse), and
+ * registration error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/filter_registry.hh"
+#include "core/filter_spec.hh"
+#include "experiments/experiments.hh"
+
+using namespace jetty;
+using filter::FilterRegistry;
+
+namespace
+{
+
+filter::AddressMap
+baseMap()
+{
+    experiments::SystemVariant variant;
+    return variant.smpConfig().addressMap();
+}
+
+/** Every spec the tests round-trip: the paper set plus the extensions. */
+std::vector<std::string>
+roundTripSpecs()
+{
+    auto specs = experiments::allPaperFilterSpecs();
+    specs.push_back("NULL");
+    specs.push_back("RF-10x12");
+    specs.push_back("IJ-8x4x7u");
+    specs.push_back("HJ(RF-8x12,EJ-16x2)");
+    return specs;
+}
+
+} // namespace
+
+TEST(FilterRegistry, ListsAllBuiltinFamilies)
+{
+    const auto families = FilterRegistry::instance().listFamilies();
+    const std::vector<std::string> expected{"EJ", "HJ", "IJ",
+                                            "NULL", "RF", "VEJ"};
+    EXPECT_EQ(families, expected);
+}
+
+TEST(FilterRegistry, EveryFamilyIsSelfDescribing)
+{
+    const auto &registry = FilterRegistry::instance();
+    for (const auto &family : registry.families()) {
+        EXPECT_FALSE(family.key.empty());
+        EXPECT_FALSE(family.grammar.empty()) << family.key;
+        EXPECT_FALSE(family.summary.empty()) << family.key;
+        EXPECT_FALSE(family.example.empty()) << family.key;
+        ASSERT_NE(family.parse, nullptr) << family.key;
+        // The canonical example parses, and it parses via its own family.
+        EXPECT_TRUE(filter::isValidFilterSpec(family.example)) << family.key;
+        filter::SnoopFilterPtr built;
+        EXPECT_TRUE(family.parse(family.example, baseMap(), &built))
+            << family.key;
+        ASSERT_NE(built, nullptr) << family.key;
+    }
+}
+
+TEST(FilterRegistry, FamilyLookup)
+{
+    const auto &registry = FilterRegistry::instance();
+    ASSERT_NE(registry.family("EJ"), nullptr);
+    EXPECT_EQ(registry.family("EJ")->grammar, "EJ-<sets>x<assoc>");
+    EXPECT_EQ(registry.family("ZZ"), nullptr);
+    EXPECT_EQ(registry.family("ej"), nullptr);  // keys are exact
+}
+
+TEST(FilterRegistry, PaperSpecsRoundTrip)
+{
+    const auto amap = baseMap();
+    for (const auto &spec : roundTripSpecs()) {
+        SCOPED_TRACE(spec);
+        auto first = filter::makeFilter(spec, amap);
+        const std::string name = first->name();
+
+        // The canonical name is itself a valid spec...
+        ASSERT_TRUE(filter::isValidFilterSpec(name));
+        auto second = filter::makeFilter(name, amap);
+
+        // ...and it is a fixed point: rebuilding from it changes nothing.
+        EXPECT_EQ(second->name(), name);
+        EXPECT_EQ(second->storage().presenceBits,
+                  first->storage().presenceBits);
+        EXPECT_EQ(second->storage().counterBits,
+                  first->storage().counterBits);
+    }
+}
+
+TEST(FilterRegistry, CanonicalNameNormalizesSpelling)
+{
+    const auto amap = baseMap();
+    EXPECT_EQ(filter::canonicalFilterName("null", amap), "NULL");
+    EXPECT_EQ(filter::canonicalFilterName("  EJ-32x4 ", amap), "EJ-32x4");
+    EXPECT_EQ(filter::canonicalFilterName("IJ-8x4x7U", amap), "IJ-8x4x7u");
+}
+
+TEST(FilterRegistry, MalformedSpecsStillRejected)
+{
+    const auto &registry = FilterRegistry::instance();
+    const filter::AddressMap amap;
+    for (const char *bad :
+         {"", "EJ-32", "EJ-axb", "VEJ-32x4", "IJ-10x4", "HJ(IJ-10x4x7)",
+          "HJ(IJ-10x4x7,)", "ZZ-1x2", "RF-8"}) {
+        EXPECT_FALSE(registry.tryMake(bad, amap, nullptr)) << bad;
+    }
+}
+
+TEST(FilterRegistryDeathTest, DuplicateFamilyIsFatal)
+{
+    filter::FilterFamily dup;
+    dup.key = "EJ";
+    dup.grammar = "EJ-<dup>";
+    dup.summary = "duplicate";
+    dup.example = "EJ-1x1";
+    dup.parse = [](const std::string &, const filter::AddressMap &,
+                   filter::SnoopFilterPtr *) { return false; };
+    EXPECT_EXIT(FilterRegistry::instance().registerFamily(dup),
+                ::testing::ExitedWithCode(1), "duplicate family");
+}
+
+TEST(FilterRegistryDeathTest, MissingParserIsFatal)
+{
+    filter::FilterFamily broken;
+    broken.key = "XX";
+    EXPECT_EXIT(FilterRegistry::instance().registerFamily(broken),
+                ::testing::ExitedWithCode(1), "no parser");
+}

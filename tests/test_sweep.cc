@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and the layers on top of it: the
+ * jobs=1 vs jobs=N determinism guarantee, the TraceSource clone()/reset()
+ * contract, the keyed run cache (identical pairs simulate once per
+ * process), and the AppRunResult sizing fix for 8-way variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hh"
+#include "sim/sweep.hh"
+#include "trace/apps.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+using namespace jetty;
+using experiments::RunCache;
+using experiments::RunRequest;
+using experiments::SystemVariant;
+
+namespace
+{
+
+/** Bit-exact comparison of two filter-coverage stats blocks. */
+void
+expectSameStats(const filter::FilterStats &a, const filter::FilterStats &b)
+{
+    EXPECT_EQ(a.probes, b.probes);
+    EXPECT_EQ(a.filtered, b.filtered);
+    EXPECT_EQ(a.wouldMiss, b.wouldMiss);
+    EXPECT_EQ(a.filteredWouldMiss, b.filteredWouldMiss);
+    EXPECT_EQ(a.snoopAllocs, b.snoopAllocs);
+    EXPECT_EQ(a.fillUpdates, b.fillUpdates);
+    EXPECT_EQ(a.evictUpdates, b.evictUpdates);
+    EXPECT_EQ(a.safetyViolations, b.safetyViolations);
+}
+
+/** A small cross-product job list: three apps on two variants. */
+std::vector<sim::SweepJob>
+sampleJobs()
+{
+    std::vector<sim::SweepJob> jobs;
+    for (const char *app : {"lu", "ff", "ra"}) {
+        for (unsigned nprocs : {4u, 8u}) {
+            SystemVariant variant;
+            variant.nprocs = nprocs;
+            sim::SweepJob job;
+            job.app = trace::appByName(app);
+            job.cfg = variant.smpConfig();
+            job.cfg.filterSpecs = {"EJ-16x2", "IJ-8x4x7"};
+            job.accessScale = 0.01;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(SweepRunner, DefaultJobsIsPositive)
+{
+    EXPECT_GE(sim::SweepRunner::defaultJobs(), 1u);
+}
+
+TEST(SweepRunner, SerialAndParallelRunsAreBitIdentical)
+{
+    // The correctness anchor of the whole engine: the worker count
+    // changes wall-clock time, never numbers.
+    const auto jobs = sampleJobs();
+
+    sim::SweepRunner serial(1);
+    sim::SweepRunner parallel(4);
+    const auto a = serial.run(jobs);
+    const auto b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(a[i].memoryAllocated, b[i].memoryAllocated);
+        EXPECT_EQ(a[i].filterNames, b[i].filterNames);
+
+        const auto agg_a = a[i].stats.aggregate();
+        const auto agg_b = b[i].stats.aggregate();
+        EXPECT_EQ(agg_a.accesses, agg_b.accesses);
+        EXPECT_EQ(agg_a.l1Hits, agg_b.l1Hits);
+        EXPECT_EQ(agg_a.l2LocalHits, agg_b.l2LocalHits);
+        EXPECT_EQ(agg_a.snoopTagProbes, agg_b.snoopTagProbes);
+        EXPECT_EQ(agg_a.snoopMisses, agg_b.snoopMisses);
+
+        ASSERT_EQ(a[i].filterStats.size(), b[i].filterStats.size());
+        for (std::size_t f = 0; f < a[i].filterStats.size(); ++f)
+            expectSameStats(a[i].filterStats[f], b[i].filterStats[f]);
+    }
+}
+
+TEST(SweepRunner, PoolIsReusableAcrossBatches)
+{
+    sim::SweepRunner runner(2);
+    const auto jobs = sampleJobs();
+    const auto first = runner.run({jobs[0]});
+    const auto again = runner.run({jobs[0], jobs[1]});
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(again.size(), 2u);
+    expectSameStats(first[0].filterStats[0], again[0].filterStats[0]);
+}
+
+TEST(SweepRunner, SeedOffsetChangesTheTrace)
+{
+    auto job = sampleJobs()[0];
+    sim::SweepJob bumped = job;
+    bumped.seedOffset = 1;
+    const auto a = sim::SweepRunner::runOne(job);
+    const auto b = sim::SweepRunner::runOne(bumped);
+    // Same workload shape, different reference interleaving.
+    EXPECT_EQ(a.memoryAllocated, b.memoryAllocated);
+    EXPECT_NE(a.stats.aggregate().l1Hits, b.stats.aggregate().l1Hits);
+}
+
+TEST(TraceSourceContract, ResetReplaysTheSyntheticStream)
+{
+    const trace::Workload workload(trace::appByName("lu"), 4, 0.005);
+    auto src = workload.makeSource(1);
+    const auto first = trace::collect(*src, 0);
+    ASSERT_GT(first.size(), 0u);
+
+    trace::TraceRecord rec;
+    EXPECT_FALSE(src->next(rec));  // exhausted
+    src->reset();
+    const auto second = trace::collect(*src, 0);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].addr, second[i].addr) << i;
+        EXPECT_EQ(first[i].type, second[i].type) << i;
+    }
+}
+
+TEST(TraceSourceContract, CloneIsIndependentAndComplete)
+{
+    const trace::Workload workload(trace::appByName("ff"), 4, 0.005);
+    auto src = workload.makeSource(0);
+    const auto full = trace::collect(*src, 0);
+
+    // Clone a half-consumed source: the clone must replay from the start.
+    src->reset();
+    trace::TraceRecord rec;
+    for (std::size_t i = 0; i < full.size() / 2; ++i)
+        ASSERT_TRUE(src->next(rec));
+    auto clone = src->clone();
+    const auto replay = trace::collect(*clone, 0);
+
+    ASSERT_EQ(replay.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i)
+        EXPECT_EQ(replay[i].addr, full[i].addr) << i;
+}
+
+TEST(TraceSourceContract, VectorSourceCloneAndReset)
+{
+    const std::vector<trace::TraceRecord> records{
+        {AccessType::Read, 0x100}, {AccessType::Write, 0x200}};
+    trace::VectorTraceSource src(records);
+    trace::TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.addr, 0x100u);
+
+    auto clone = src.clone();
+    ASSERT_TRUE(clone->next(rec));
+    EXPECT_EQ(rec.addr, 0x100u);  // clone starts from the beginning
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.addr, 0x200u);  // the original kept its position
+    EXPECT_FALSE(src.next(rec));
+    src.reset();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.addr, 0x100u);
+}
+
+TEST(RunCacheTest, IdenticalPairsSimulateOncePerProcess)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+
+    SystemVariant variant;
+    const auto app = trace::appByName("lu");
+
+    experiments::runApp(app, variant, {"EJ-32x4", "NULL"}, 0.01);
+    EXPECT_EQ(cache.simulations(), 1u);
+
+    // A subset request (any spelling) is a pure cache hit.
+    const auto hit = experiments::runApp(app, variant, {"null"}, 0.01);
+    EXPECT_EQ(cache.simulations(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(hit.filterNames, std::vector<std::string>{"NULL"});
+
+    // A new spec for the same pair re-simulates once, with the union.
+    const auto grown =
+        experiments::runApp(app, variant, {"IJ-8x4x7", "EJ-32x4"}, 0.01);
+    EXPECT_EQ(cache.simulations(), 2u);
+    EXPECT_EQ(grown.filterNames.size(), 2u);
+
+    // Different variant or scale means a different key.
+    SystemVariant v8 = variant;
+    v8.nprocs = 8;
+    experiments::runApp(app, v8, {"NULL"}, 0.01);
+    EXPECT_EQ(cache.simulations(), 3u);
+}
+
+TEST(RunCacheTest, BatchDeduplicatesAndPreservesOrder)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+
+    SystemVariant variant;
+    std::vector<RunRequest> requests;
+    for (const char *name : {"lu", "ff", "lu", "ff"}) {
+        RunRequest req;
+        req.app = trace::appByName(name);
+        req.variant = variant;
+        req.filterSpecs = {"EJ-16x2"};
+        req.accessScale = 0.01;
+        requests.push_back(std::move(req));
+    }
+
+    const auto runs = experiments::runMany(requests, 2);
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_EQ(cache.simulations(), 2u);  // two unique pairs
+    EXPECT_EQ(runs[0].abbrev, "lu");
+    EXPECT_EQ(runs[1].abbrev, "ff");
+    EXPECT_EQ(runs[2].abbrev, "lu");
+    EXPECT_EQ(runs[3].abbrev, "ff");
+    expectSameStats(runs[0].statsFor("EJ-16x2"), runs[2].statsFor("EJ-16x2"));
+}
+
+TEST(RunCacheTest, MergedResultsIdenticalForAnyJobsCount)
+{
+    // The acceptance anchor at the experiments layer: a --jobs 4 sweep
+    // produces merged filter stats identical to a serial run.
+    auto &cache = RunCache::instance();
+    SystemVariant variant;
+    const std::vector<std::string> specs{"EJ-32x4", "HJ(IJ-9x4x7,EJ-32x4)"};
+
+    cache.clear();
+    const auto serial = experiments::runAllApps(variant, specs, 0.01, 1);
+    cache.clear();
+    const auto parallel = experiments::runAllApps(variant, specs, 0.01, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].appName);
+        EXPECT_EQ(serial[i].abbrev, parallel[i].abbrev);
+        for (const auto &spec : specs) {
+            expectSameStats(serial[i].statsFor(spec),
+                            parallel[i].statsFor(spec));
+        }
+        const auto ea = serial[i].stats.aggregate();
+        const auto eb = parallel[i].stats.aggregate();
+        EXPECT_EQ(ea.accesses, eb.accesses);
+        EXPECT_EQ(ea.snoopMisses, eb.snoopMisses);
+        EXPECT_EQ(serial[i].traffic.allTagAccesses(),
+                  parallel[i].traffic.allTagAccesses());
+    }
+}
+
+TEST(RunCacheTest, StatsBlockSizedFromVariant)
+{
+    // Regression: AppRunResult::stats used to be hard-wired to four
+    // processors, so 8-way runs carried a mis-sized stats block.
+    SystemVariant v8;
+    v8.nprocs = 8;
+    const auto run =
+        experiments::runApp(trace::appByName("ff"), v8, {"NULL"}, 0.01);
+    EXPECT_EQ(run.stats.procs.size(), 8u);
+    EXPECT_EQ(run.stats.remoteHits.buckets(), 8u);
+}

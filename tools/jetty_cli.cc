@@ -7,20 +7,28 @@
  * Usage:
  *   jetty_cli run   [--app NAME] [--procs N] [--no-subblock]
  *                   [--scale F] [--filters SPEC[,SPEC...]]
+ *   jetty_cli sweep [--apps NAME[,NAME...]|all] [--procs N[,M...]]
+ *                   [--no-subblock] [--scale F] [--jobs N]
+ *                   [--filters SPEC[,SPEC...]]
  *   jetty_cli apps
+ *   jetty_cli filters
  *   jetty_cli trace --app NAME --proc P --out FILE [--limit N]
  *   jetty_cli replay --in FILE[,FILE...] [--filters SPEC[,...]]
+ *                    (one file: cloned onto --procs N processors)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/filter_registry.hh"
 #include "core/filter_spec.hh"
 #include "experiments/experiments.hh"
 #include "sim/latency.hh"
+#include "sim/sweep.hh"
 #include "trace/apps.hh"
 #include "trace/trace_file.hh"
 #include "util/logging.hh"
@@ -144,11 +152,154 @@ cmdRun(const std::map<std::string, std::string> &opts)
         opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 0.25;
     const std::string app =
         opts.count("app") ? opts.at("app") : std::string("lu");
-    const auto specs = filterList(opts);
+    auto specs = filterList(opts);
+    // The report looks runs up by canonical name; normalize the input.
+    for (auto &s : specs)
+        s = filter::canonicalFilterName(s,
+                                        variant.smpConfig().addressMap());
 
     const auto run = experiments::runApp(trace::appByName(app), variant,
                                          specs, scale);
     printRunReport(run, variant, specs);
+    return 0;
+}
+
+/**
+ * The parallel cross-product: applications × system variants, one table
+ * row per (app, variant), one column per filter. Runs go through the
+ * declarative experiment layer, so the sweep engine simulates every
+ * distinct pair concurrently (--jobs) and exactly once.
+ */
+int
+cmdSweep(const std::map<std::string, std::string> &opts)
+{
+    auto specs = filterList(opts);
+    const double scale =
+        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 0.25;
+    unsigned jobs = 0;  // 0 = SweepRunner default
+    if (opts.count("jobs")) {
+        const int v = std::atoi(opts.at("jobs").c_str());
+        if (v < 0)
+            fatal("--jobs must be >= 0 (0 = auto)");
+        jobs = static_cast<unsigned>(v);
+    }
+
+    std::vector<trace::AppProfile> apps;
+    const std::string app_list =
+        opts.count("apps") ? opts.at("apps") : std::string("all");
+    if (toUpper(app_list) == "ALL") {
+        apps = trace::paperApps();
+    } else {
+        for (const auto &name : split(app_list, ','))
+            apps.push_back(trace::appByName(trim(name)));
+    }
+
+    std::vector<unsigned> proc_counts;
+    if (opts.count("procs")) {
+        for (const auto &n : split(opts.at("procs"), ',')) {
+            unsigned v = 0;
+            if (!parseUnsigned(trim(n), v) || v < 2)
+                fatal("--procs needs counts >= 2, got '" + trim(n) + "'");
+            proc_counts.push_back(v);
+        }
+    } else {
+        proc_counts = {4};
+    }
+
+    // Results carry canonical filter names ("null" -> "NULL"), so
+    // canonicalize the requested specs before using them as lookup keys
+    // and column headers.
+    {
+        experiments::SystemVariant variant;
+        if (opts.count("no-subblock"))
+            variant.subblocked = false;
+        const auto amap = variant.smpConfig().addressMap();
+        for (auto &s : specs)
+            s = filter::canonicalFilterName(s, amap);
+    }
+
+    std::vector<experiments::RunRequest> requests;
+    for (unsigned nprocs : proc_counts) {
+        experiments::SystemVariant variant;
+        variant.nprocs = nprocs;
+        if (opts.count("no-subblock"))
+            variant.subblocked = false;
+        for (const auto &app : apps) {
+            experiments::RunRequest req;
+            req.app = app;
+            req.variant = variant;
+            req.filterSpecs = specs;
+            req.accessScale = scale;
+            requests.push_back(std::move(req));
+        }
+    }
+
+    const auto sims_before = experiments::RunCache::instance().simulations();
+    const auto runs = experiments::runMany(requests, jobs);
+    const std::uint64_t simulated =
+        experiments::RunCache::instance().simulations() - sims_before;
+
+    TextTable table;
+    std::vector<std::string> head{"app", "procs", "snoopMiss%"};
+    for (const auto &s : specs)
+        head.push_back(s);
+    table.header(head);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &run = runs[i];
+        const auto agg = run.stats.aggregate();
+        std::vector<std::string> row{
+            run.abbrev,
+            std::to_string(requests[i].variant.nprocs),
+            TextTable::pct(percent(agg.snoopMisses, agg.snoopTagProbes)),
+        };
+        for (const auto &s : specs)
+            row.push_back(TextTable::pct(100.0 * run.statsFor(s).coverage()));
+        table.row(std::move(row));
+    }
+    table.print();
+
+    // Report the concurrency actually available to this sweep: the
+    // requested (or default) worker count never exceeds the number of
+    // simulations there were to run.
+    const std::uint64_t want = jobs ? jobs : sim::SweepRunner::defaultJobs();
+    std::printf("\n%zu runs (%llu simulated, %llu cache hits), "
+                "%llu workers\n",
+                runs.size(),
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(
+                    experiments::RunCache::instance().hits()),
+                static_cast<unsigned long long>(std::min(want, simulated)));
+    return 0;
+}
+
+/** Enumerate the registered filter families and the paper's specs. */
+int
+cmdFilters()
+{
+    const auto &registry = filter::FilterRegistry::instance();
+
+    TextTable table;
+    table.header({"family", "grammar", "example", "description"});
+    for (const auto &key : registry.listFamilies()) {
+        const auto *family = registry.family(key);
+        table.row({family->key, family->grammar, family->example,
+                   family->summary});
+    }
+    table.print();
+
+    std::printf("\nPaper configurations:\n");
+    auto print_list = [](const char *label,
+                         const std::vector<std::string> &specs) {
+        std::printf("  %-12s", label);
+        for (const auto &s : specs)
+            std::printf(" %s", s.c_str());
+        std::printf("\n");
+    };
+    print_list("Figure 4(a):", filter::paperExcludeSpecs());
+    print_list("Figure 4(b):", filter::paperVectorExcludeSpecs());
+    print_list("Figure 5(a):", filter::paperIncludeSpecs());
+    print_list("Figure 5(b):", filter::paperHybridSpecs());
     return 0;
 }
 
@@ -197,27 +348,40 @@ cmdReplay(const std::map<std::string, std::string> &opts)
     if (!opts.count("in"))
         fatal("replay needs --in FILE[,FILE...] (one per processor)");
     const auto files = split(opts.at("in"), ',');
-    if (files.size() < 2)
-        fatal("replay needs at least two trace files (one per processor)");
+
+    std::vector<trace::TraceSourcePtr> sources;
+    if (files.size() == 1) {
+        // Homogeneous load: clone one captured stream onto every
+        // processor (the TraceSource replay contract).
+        unsigned nprocs = 4;
+        if (opts.count("procs")) {
+            if (!parseUnsigned(opts.at("procs"), nprocs) || nprocs < 2)
+                fatal("replay --procs needs a count >= 2");
+        }
+        const trace::VectorTraceSource proto(
+            trace::readTraceFile(trim(files[0])));
+        for (unsigned p = 0; p < nprocs; ++p)
+            sources.push_back(proto.clone());
+    } else {
+        for (const auto &f : files) {
+            sources.push_back(std::make_unique<trace::VectorTraceSource>(
+                trace::readTraceFile(trim(f))));
+        }
+    }
 
     experiments::SystemVariant variant;
-    variant.nprocs = static_cast<unsigned>(files.size());
+    variant.nprocs = static_cast<unsigned>(sources.size());
     sim::SmpConfig cfg = variant.smpConfig();
     cfg.filterSpecs = filterList(opts);
 
     sim::SmpSystem sys(cfg);
-    std::vector<trace::TraceSourcePtr> sources;
-    for (const auto &f : files) {
-        sources.push_back(std::make_unique<trace::VectorTraceSource>(
-            trace::readTraceFile(trim(f))));
-    }
     sys.attachSources(std::move(sources));
     sys.run();
 
     const auto agg = sys.stats().aggregate();
-    std::printf("replayed %.2fM refs on %zu processors; snoops miss "
+    std::printf("replayed %.2fM refs on %u processors; snoops miss "
                 "%.1f%%\n\n",
-                agg.accesses / 1e6, files.size(),
+                agg.accesses / 1e6, variant.nprocs,
                 percent(agg.snoopMisses, agg.snoopTagProbes));
     TextTable table;
     table.header({"filter", "coverage"});
@@ -236,16 +400,20 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: jetty_cli run|apps|trace|replay [options]\n");
+        std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
+                             "trace|replay [options]\n");
         return 1;
     }
     const std::string cmd = argv[1];
     const auto opts = parseOptions(argc, argv, 2);
     if (cmd == "run")
         return cmdRun(opts);
+    if (cmd == "sweep")
+        return cmdSweep(opts);
     if (cmd == "apps")
         return cmdApps();
+    if (cmd == "filters")
+        return cmdFilters();
     if (cmd == "trace")
         return cmdTrace(opts);
     if (cmd == "replay")
