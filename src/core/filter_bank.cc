@@ -32,26 +32,37 @@ FilterBank::FilterBank(const std::vector<std::string> &specs,
 void
 FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
 {
-    for (std::size_t i = 0; i < filters_.size(); ++i) {
-        FilterStats &st = stats_[i];
-        ++st.probes;
-        if (!unitInL2)
-            ++st.wouldMiss;
-
-        const bool filtered = filters_[i]->probe(unitAddr);
-        if (filtered) {
-            ++st.filtered;
-            if (unitInL2) {
+    // Hot path: one call per filter per snoop per remote node. The
+    // ground truth is identical for every filter, so the branch on it is
+    // hoisted out of the loop; the counters each arm bumps are exactly
+    // those of the straightforward per-filter version.
+    const std::size_t n = filters_.size();
+    if (unitInL2) {
+        // Cached here: no filter may claim "not cached".
+        for (std::size_t i = 0; i < n; ++i) {
+            FilterStats &st = stats_[i];
+            ++st.probes;
+            if (filters_[i]->probe(unitAddr)) {
+                ++st.filtered;
                 ++st.safetyViolations;
                 if (checkSafety_) {
                     panic("JETTY safety violation: " + filters_[i]->name() +
                           " filtered a snoop to a cached unit");
                 }
-            } else {
-                ++st.filteredWouldMiss;
             }
-        } else if (!unitInL2) {
-            // Unfiltered true miss: exclude components allocate here.
+        }
+        return;
+    }
+    // True miss everywhere: filtering is the win, and unfiltered misses
+    // feed the exclude components' allocation streams.
+    for (std::size_t i = 0; i < n; ++i) {
+        FilterStats &st = stats_[i];
+        ++st.probes;
+        ++st.wouldMiss;
+        if (filters_[i]->probe(unitAddr)) {
+            ++st.filtered;
+            ++st.filteredWouldMiss;
+        } else {
             filters_[i]->onSnoopMiss(unitAddr, blockInL2);
             ++st.snoopAllocs;
         }

@@ -1,5 +1,7 @@
 #include "experiments/experiments.hh"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +10,7 @@
 #include <set>
 
 #include "core/filter_spec.hh"
+#include "trace/trace_file.hh"
 #include "util/logging.hh"
 
 namespace jetty::experiments
@@ -189,15 +192,69 @@ struct RunKey
     }
 };
 
+/**
+ * Content digest of a trace file, memoized per (path, size, mtime) so
+ * repeated replays of one capture — the whole point of digest-keyed
+ * caching — do not re-scan a possibly larger-than-RAM file per request.
+ * A rewritten file changes size or mtime and re-hashes.
+ */
+std::uint64_t
+cachedTraceFileDigest(const std::string &path)
+{
+    struct Stamp
+    {
+        std::uint64_t size = 0;
+        std::int64_t mtime = 0;
+        std::uint64_t digest = 0;
+    };
+    static std::mutex mu;
+    static std::map<std::string, Stamp> digests;
+
+    struct ::stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        fatal("traceFileDigest: cannot stat '" + path + "'");
+    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    // Nanosecond mtime: a same-size rewrite within one second must not
+    // serve the stale digest.
+    const std::int64_t mtime =
+        static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+        static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = digests.find(path);
+        if (it != digests.end() && it->second.size == size &&
+            it->second.mtime == mtime) {
+            return it->second.digest;
+        }
+    }
+    const std::uint64_t digest = trace::traceFileDigest(path);
+    std::lock_guard<std::mutex> lock(mu);
+    digests[path] = {size, mtime, digest};
+    return digest;
+}
+
 RunKey
-makeKey(const trace::AppProfile &app, const SystemVariant &variant,
-        double scale)
+makeKey(const RunRequest &req, double scale)
 {
     RunKey key;
-    key.profile = profileFingerprint(app);
-    key.nprocs = variant.nprocs;
-    key.subblocked = variant.subblocked;
-    std::memcpy(&key.scaleBits, &scale, sizeof(key.scaleBits));
+    if (!req.traceFiles.empty()) {
+        // File-backed workload: identity is what the files *contain*,
+        // not where they live or what profile labels them.
+        Fnv fnv;
+        fnv.mix(static_cast<std::uint64_t>(req.traceFiles.size()));
+        for (const auto &file : req.traceFiles)
+            fnv.mix(cachedTraceFileDigest(file));
+        key.profile = fnv.value();
+    } else {
+        key.profile = profileFingerprint(req.app);
+    }
+    key.nprocs = req.variant.nprocs;
+    key.subblocked = req.variant.subblocked;
+    // accessScale does not apply to file replays (the capture's length
+    // is the capture's length), so it must not split their cache keys.
+    if (req.traceFiles.empty())
+        std::memcpy(&key.scaleBits, &scale, sizeof(key.scaleBits));
     return key;
 }
 
@@ -217,6 +274,8 @@ fromSweep(const trace::AppProfile &app, sim::SweepResult &&sweep)
     res.appName = app.name;
     res.abbrev = app.abbrev;
     res.memoryAllocated = sweep.memoryAllocated;
+    res.totalRefs = sweep.totalRefs;
+    res.simSeconds = sweep.elapsedSeconds;
     res.stats = std::move(sweep.stats);
     res.filterNames = std::move(sweep.filterNames);
     res.filterStats = std::move(sweep.filterStats);
@@ -329,7 +388,7 @@ runMany(const std::vector<RunRequest> &requests, unsigned jobs)
             req.accessScale > 0 ? req.accessScale : defaultScale();
         const filter::AddressMap amap =
             req.variant.smpConfig().addressMap();
-        prepared[r].key = makeKey(req.app, req.variant, scale);
+        prepared[r].key = makeKey(req, scale);
         for (const auto &spec : req.filterSpecs) {
             const std::string name = canonical(spec, amap);
             auto &names = prepared[r].names;
@@ -402,6 +461,7 @@ runMany(const std::vector<RunRequest> &requests, unsigned jobs)
             sj.cfg.filterSpecs = job.names;
             sj.accessScale =
                 req.accessScale > 0 ? req.accessScale : defaultScale();
+            sj.traceFiles = req.traceFiles;
             sweepJobs.push_back(std::move(sj));
             order.push_back(&job);
         }

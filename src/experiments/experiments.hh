@@ -59,6 +59,12 @@ struct AppRunResult
     std::uint64_t memoryAllocated = 0;
     sim::SimStats stats;
 
+    /** References retired and wall-clock seconds of the simulation that
+     *  produced this result (cache hits carry the originating run's
+     *  timing; aggregate wall-clock is the caller's to measure). */
+    std::uint64_t totalRefs = 0;
+    double simSeconds = 0;
+
     /** Names of the evaluated filters, parallel to filterStats. */
     std::vector<std::string> filterNames;
 
@@ -85,6 +91,16 @@ struct RunRequest
 
     /** Scales the reference count (defaultScale() when <= 0). */
     double accessScale = -1.0;
+
+    /**
+     * When non-empty the run replays these captured trace files
+     * (trace::makeFileSources rules) instead of synthesizing from
+     * @ref app, and the cache keys the workload by the files' *content
+     * digests* — the same capture answers from the cache wherever the
+     * files live, and an edited file re-simulates. @ref app then only
+     * labels the result; accessScale is ignored.
+     */
+    std::vector<std::string> traceFiles;
 };
 
 /**
@@ -122,7 +138,9 @@ double defaultScale();
 
 /**
  * The process-wide run cache behind runApp()/runMany()/runAllApps(),
- * keyed by (app identity, nprocs, subblocked, scale). A request whose
+ * keyed by (app identity, nprocs, subblocked, scale); file-backed
+ * workloads key by the trace files' content digests instead of the app
+ * identity. A request whose
  * filter specs are covered by the cached entry is a hit; otherwise the
  * pair re-simulates once with the union of the old and new specs.
  * Thread-safe.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/cache_config.hh"
+#include "util/bits.hh"
 #include "util/types.hh"
 
 namespace jetty::mem
@@ -46,6 +47,37 @@ class L1Cache
 
     /** Probe without side effects. */
     L1LookupResult probe(Addr addr) const;
+
+    /**
+     * Single-lookup fast path for hits that need no L2 interaction: a
+     * read hit, or a write hit on a writable line. Performs exactly the
+     * state changes of probe() + touch() (+ markDirty() for writes) in
+     * one associative search and returns true. Any other case — miss, or
+     * a write hit lacking write permission — leaves the cache completely
+     * untouched and returns false so the caller can take the full path.
+     *
+     * Inline because the simulator's batched delivery loop issues one of
+     * these per reference; it must stay bit-identical to the slow path
+     * (same LRU clock advance, same dirty marking).
+     */
+    bool
+    accessFast(Addr addr, bool write)
+    {
+        const std::uint64_t set = bitField(addr, offsetBits_, indexBits_);
+        const Addr tag = addr >> (offsetBits_ + indexBits_);
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            Line &l = ways_[w][set];
+            if (!l.valid || l.tag != tag)
+                continue;
+            if (write && !l.writable)
+                return false;
+            l.lastUse = ++useClock_;
+            if (write)
+                l.dirty = true;
+            return true;
+        }
+        return false;
+    }
 
     /** Update LRU for a hit on @p addr's line. */
     void touch(Addr addr);

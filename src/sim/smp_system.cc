@@ -1,5 +1,6 @@
 #include "sim/smp_system.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bits.hh"
@@ -52,7 +53,24 @@ SmpSystem::attachSources(std::vector<trace::TraceSourcePtr> sources)
     for (unsigned p = 0; p < nodes_.size(); ++p) {
         nodes_[p]->source = std::move(sources[p]);
         nodes_[p]->sourceDone = nodes_[p]->source == nullptr;
+        nodes_[p]->batchPos = 0;
+        nodes_[p]->batchLen = 0;
     }
+}
+
+bool
+SmpSystem::refillBatch(Node &node)
+{
+    const std::size_t want = cfg_.batchRefs >= 1 ? cfg_.batchRefs : 1;
+    if (node.batch.size() != want)
+        node.batch.resize(want);
+    node.batchLen = node.source->nextBatch(node.batch.data(), want);
+    node.batchPos = 0;
+    if (node.batchLen == 0) {
+        node.sourceDone = true;
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -63,11 +81,9 @@ SmpSystem::step()
         Node &node = *nodes_[p];
         if (node.sourceDone)
             continue;
-        trace::TraceRecord rec;
-        if (!node.source->next(rec)) {
-            node.sourceDone = true;
+        if (node.batchPos == node.batchLen && !refillBatch(node))
             continue;
-        }
+        const trace::TraceRecord rec = node.batch[node.batchPos++];
         any = true;
         processorAccess(p, rec.type, rec.addr);
     }
@@ -77,7 +93,60 @@ SmpSystem::step()
 void
 SmpSystem::run()
 {
-    while (step()) {
+    // The batched hot loop. The interleaving is exactly step()'s — one
+    // reference per live processor per sweep — but references needing no
+    // L2 or bus interaction (the vast majority) are retired inline via
+    // the L1's single-lookup fast path instead of the general
+    // processorAccess() route. Both paths make identical state changes,
+    // so run(), step()-driven loops, and every batchRefs value produce
+    // bit-identical statistics.
+    const unsigned nprocs = static_cast<unsigned>(nodes_.size());
+    const Addr unit_mask = ~(static_cast<Addr>(cfg_.l2.unitBytes()) - 1);
+
+    // Live processors in ascending id order (the round-robin order).
+    std::vector<ProcId> live;
+    live.reserve(nprocs);
+
+    for (;;) {
+        // Top up every live batch and size the next chunk of sweeps: all
+        // live processors can serve at least `rounds` full sweeps without
+        // another exhaustion or refill check. A processor leaves the live
+        // set only at a batch boundary, which is exactly when step()
+        // semantics would discover its exhaustion — the (proc, record)
+        // issue order is untouched.
+        live.clear();
+        std::size_t rounds = ~std::size_t{0};
+        for (unsigned p = 0; p < nprocs; ++p) {
+            Node &node = *nodes_[p];
+            if (node.sourceDone)
+                continue;
+            if (node.batchPos == node.batchLen && !refillBatch(node))
+                continue;
+            live.push_back(p);
+            rounds = std::min(rounds, node.batchLen - node.batchPos);
+        }
+        if (live.empty())
+            return;
+
+        for (std::size_t r = 0; r < rounds; ++r) {
+            for (const ProcId p : live) {
+                Node &node = *nodes_[p];
+                const trace::TraceRecord &rec =
+                    node.batch[node.batchPos++];
+                const bool write = rec.type == AccessType::Write;
+                if (node.l1->accessFast(rec.addr & unit_mask, write)) {
+                    ProcStats &ps = stats_.procs[p];
+                    ++ps.accesses;
+                    if (write)
+                        ++ps.writes;
+                    else
+                        ++ps.reads;
+                    ++ps.l1Hits;
+                    continue;
+                }
+                processorAccess(p, rec.type, rec.addr);
+            }
+        }
     }
 }
 
@@ -145,7 +214,9 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
         }
 
         // 2. The JETTY bank observes the snoop with L2 ground truth
-        //    *before* any state transition.
+        //    *before* any state transition. One probe serves both the
+        //    bank's ground truth and the pre-transition state below —
+        //    nothing mutates the L2 in between.
         const auto probe_res = node.l2->probe(unitAddr);
         node.bank->observeSnoop(unitAddr, probe_res.unitValid,
                                 probe_res.tagMatch);
@@ -155,7 +226,7 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
         ++qs.snoopTagProbes;
         ++qs.traffic.snoopTagProbes;
 
-        const State before = node.l2->probe(unitAddr).state;
+        const State before = probe_res.state;
         const auto outcome = node.l2->snoop(unitAddr, op);
         if (outcome.hadCopy) {
             copy_here = true;

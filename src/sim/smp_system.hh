@@ -46,6 +46,15 @@ struct SmpConfig
     /** Panic when a filter would have broken coherence (keep on). */
     bool checkSafety = true;
 
+    /**
+     * References pulled per TraceSource::nextBatch call in the delivery
+     * path (1 = scalar per-reference pulls). Purely a transport knob:
+     * the round-robin interleaving — one reference per processor per
+     * sweep — and therefore every simulated number is bit-identical for
+     * every value.
+     */
+    unsigned batchRefs = 256;
+
     /** Derive the filters' address-space facts. */
     filter::AddressMap addressMap() const;
 };
@@ -62,10 +71,19 @@ class SmpSystem
     /**
      * One round-robin sweep: each processor with a live stream issues one
      * reference. @return false once every stream is exhausted.
+     *
+     * References are pulled from the sources in batches of
+     * SmpConfig::batchRefs and replayed one per sweep, so a step()-driven
+     * simulation is bit-identical to run() and to any batch size.
      */
     bool step();
 
-    /** Run until all streams are exhausted. */
+    /**
+     * Run until all streams are exhausted. This is the hot path: batched
+     * delivery plus an inlined L1-hit fast path, with the full
+     * processorAccess() route for everything else. Produces exactly the
+     * per-reference behaviour of repeated step() calls.
+     */
     void run();
 
     /** Drive one reference directly (unit/integration tests). */
@@ -100,7 +118,16 @@ class SmpSystem
         std::unique_ptr<filter::FilterBank> bank;
         trace::TraceSourcePtr source;
         bool sourceDone = true;
+
+        /** Delivery batch prefetched from the source (cfg.batchRefs). */
+        std::vector<trace::TraceRecord> batch;
+        std::size_t batchPos = 0;  //!< next undelivered record
+        std::size_t batchLen = 0;  //!< valid records in batch
     };
+
+    /** Refill @p node's delivery batch; marks the source done (and
+     *  returns false) when the stream is exhausted. */
+    bool refillBatch(Node &node);
 
     /** Place a transaction on the bus: snoop all other nodes, count
      *  remote copies, transition their states. */

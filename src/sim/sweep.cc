@@ -1,8 +1,10 @@
 #include "sim/sweep.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "energy/technology.hh"
+#include "trace/file_stream_source.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
 
@@ -66,11 +68,16 @@ SweepRunner::workerLoop()
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepJob> &jobList)
 {
+    const auto batch_start = std::chrono::steady_clock::now();
     std::vector<SweepResult> results(jobList.size());
 
     if (workers_.empty()) {
         for (std::size_t i = 0; i < jobList.size(); ++i)
             results[i] = runOne(jobList[i]);
+        lastBatchSeconds_ = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                batch_start)
+                                .count();
         return results;
     }
 
@@ -100,29 +107,61 @@ SweepRunner::run(const std::vector<SweepJob> &jobList)
 
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+    lock.unlock();
+    lastBatchSeconds_ = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - batch_start)
+                            .count();
     return results;
+}
+
+double
+SweepRunner::aggregateRefsPerSecond(const std::vector<SweepResult> &results)
+{
+    std::uint64_t refs = 0;
+    double seconds = 0;
+    for (const auto &r : results) {
+        refs += r.totalRefs;
+        seconds += r.elapsedSeconds;
+    }
+    return seconds > 0 ? static_cast<double>(refs) / seconds : 0.0;
 }
 
 SweepResult
 SweepRunner::runOne(const SweepJob &job)
 {
-    trace::AppProfile app = job.app;
-    app.seed += job.seedOffset;
-
-    const trace::Workload workload(app, job.cfg.nprocs, job.accessScale,
-                                   job.pageSpread);
+    SweepResult res;
     SmpSystem system(job.cfg);
 
-    std::vector<trace::TraceSourcePtr> sources;
-    sources.reserve(job.cfg.nprocs);
-    for (unsigned p = 0; p < job.cfg.nprocs; ++p)
-        sources.push_back(workload.makeSource(p));
-    system.attachSources(std::move(sources));
-    system.run();
+    // The workload must outlive the run: synthetic sources read its
+    // layout and page table for every reference they generate.
+    std::unique_ptr<trace::Workload> workload;
+    if (!job.traceFiles.empty()) {
+        // File-backed replay: stream the captured sections; nothing is
+        // materialized, so the trace may exceed memory.
+        system.attachSources(
+            trace::makeFileSources(job.traceFiles, job.cfg.nprocs));
+    } else {
+        trace::AppProfile app = job.app;
+        app.seed += job.seedOffset;
+        workload = std::make_unique<trace::Workload>(
+            app, job.cfg.nprocs, job.accessScale, job.pageSpread);
+        res.memoryAllocated = workload->memoryAllocated();
 
-    SweepResult res;
-    res.memoryAllocated = workload.memoryAllocated();
+        std::vector<trace::TraceSourcePtr> sources;
+        sources.reserve(job.cfg.nprocs);
+        for (unsigned p = 0; p < job.cfg.nprocs; ++p)
+            sources.push_back(workload->makeSource(p));
+        system.attachSources(std::move(sources));
+    }
+
+    const auto sim_start = std::chrono::steady_clock::now();
+    system.run();
+    res.elapsedSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - sim_start)
+                             .count();
+
     res.stats = system.stats();
+    res.totalRefs = res.stats.aggregate().accesses;
     res.traffic = system.mergedTraffic();
 
     const energy::Technology tech = energy::Technology::micron180();

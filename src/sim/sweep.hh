@@ -18,6 +18,7 @@
 #ifndef JETTY_SIM_SWEEP_HH
 #define JETTY_SIM_SWEEP_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,6 +55,16 @@ struct SweepJob
     /** Mixed into the profile seed, so one app definition can run as
      *  several distinct-trace jobs deterministically. */
     std::uint64_t seedOffset = 0;
+
+    /**
+     * When non-empty the job replays these captured trace files through
+     * streaming FileStreamSources instead of synthesizing from @ref app
+     * (which then only contributes its name to reports): one file per
+     * processor, one multi-section file, or one single-section file
+     * cloned onto every processor (trace::makeFileSources rules).
+     * accessScale/pageSpread/seedOffset do not apply to replays.
+     */
+    std::vector<std::string> traceFiles;
 };
 
 /** Everything one job's simulation produced. */
@@ -61,6 +72,23 @@ struct SweepResult
 {
     std::uint64_t memoryAllocated = 0;
     SimStats stats{0};
+
+    /** References the simulation retired (all processors). */
+    std::uint64_t totalRefs = 0;
+
+    /** Wall-clock seconds the simulation proper took (excludes workload
+     *  construction). Timing is reporting only — every simulated number
+     *  is independent of it. */
+    double elapsedSeconds = 0;
+
+    /** Sustained simulation throughput of this job. */
+    double
+    refsPerSecond() const
+    {
+        return elapsedSeconds > 0
+                   ? static_cast<double>(totalRefs) / elapsedSeconds
+                   : 0.0;
+    }
 
     /** Canonical names of the evaluated filters, in bank order. */
     std::vector<std::string> filterNames;
@@ -104,6 +132,14 @@ class SweepRunner
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
 
+    /** Wall-clock seconds of the most recent run() batch on this runner
+     *  (reporting only: aggregate refs/sec = Σ totalRefs / this). */
+    double lastBatchSeconds() const { return lastBatchSeconds_; }
+
+    /** Σ refs / Σ wall-clock over @p results (per-job timing). */
+    static double aggregateRefsPerSecond(
+        const std::vector<SweepResult> &results);
+
     /** Simulate a single job synchronously on the calling thread. */
     static SweepResult runOne(const SweepJob &job);
 
@@ -111,6 +147,7 @@ class SweepRunner
     void workerLoop();
 
     unsigned jobs_;
+    std::atomic<double> lastBatchSeconds_{0};
     std::vector<std::thread> workers_;
     std::mutex mu_;
     std::condition_variable cv_;

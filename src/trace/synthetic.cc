@@ -101,8 +101,23 @@ class SyntheticSource : public TraceSource
             workload_, profile_, nprocs_, proc_, accesses_, layouts);
     }
 
+    bool next(TraceRecord &out) override { return nextImpl(out); }
+
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t max) override
+    {
+        // One virtual dispatch per batch instead of per record; the
+        // records are exactly those repeated next() calls would produce.
+        std::size_t n = 0;
+        while (n < max && nextImpl(out[n]))
+            ++n;
+        return n;
+    }
+
+  private:
+    /** The generator proper (non-virtual so nextBatch can inline it). */
     bool
-    next(TraceRecord &out) override
+    nextImpl(TraceRecord &out)
     {
         if (remaining_ == 0)
             return false;
@@ -124,7 +139,6 @@ class SyntheticSource : public TraceSource
         return true;
     }
 
-  private:
     struct StreamState
     {
         StreamLayout layout;

@@ -8,6 +8,8 @@
 #ifndef JETTY_TRACE_TRACE_SOURCE_HH
 #define JETTY_TRACE_TRACE_SOURCE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -46,6 +48,27 @@ class TraceSource
      */
     virtual bool next(TraceRecord &out) = 0;
 
+    /**
+     * Produce up to @p max references into @p out.
+     *
+     * Batching is a transport optimization, never a semantic one: the
+     * records delivered are exactly those that the same number of next()
+     * calls would have produced, in the same order, whatever mix of
+     * batch sizes the consumer uses. The simulator relies on this to keep
+     * batched and scalar delivery bit-identical.
+     *
+     * @return the number produced; less than @p max only when the stream
+     *         is exhausted (so a short count ends the stream).
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
     /** Rewind to the beginning of the stream. */
     virtual void reset() = 0;
 
@@ -74,6 +97,17 @@ class VectorTraceSource : public TraceSource
             return false;
         out = records_[pos_++];
         return true;
+    }
+
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t max) override
+    {
+        const std::size_t n =
+            std::min<std::size_t>(max, records_.size() - pos_);
+        std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                    out);
+        pos_ += n;
+        return n;
     }
 
     void reset() override { pos_ = 0; }

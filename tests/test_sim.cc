@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/smp_system.hh"
+#include "trace/apps.hh"
+#include "trace/synthetic.hh"
 #include "trace/trace_source.hh"
 #include "util/random.hh"
 
@@ -282,6 +284,98 @@ TEST(SmpSystem, EightWayConfig)
     for (unsigned q = 1; q < 8; ++q)
         snoops += sys.stats().procs[q].snoopTagProbes;
     EXPECT_EQ(snoops, 7u);
+}
+
+namespace
+{
+
+/** Every aggregate counter of two runs must agree exactly. */
+void
+expectIdenticalStats(const SimStats &a, const SimStats &b)
+{
+    const auto x = a.aggregate();
+    const auto y = b.aggregate();
+    EXPECT_EQ(x.accesses, y.accesses);
+    EXPECT_EQ(x.reads, y.reads);
+    EXPECT_EQ(x.writes, y.writes);
+    EXPECT_EQ(x.l1Hits, y.l1Hits);
+    EXPECT_EQ(x.l1Misses, y.l1Misses);
+    EXPECT_EQ(x.l1Writebacks, y.l1Writebacks);
+    EXPECT_EQ(x.l2LocalAccesses, y.l2LocalAccesses);
+    EXPECT_EQ(x.l2LocalHits, y.l2LocalHits);
+    EXPECT_EQ(x.l2Fills, y.l2Fills);
+    EXPECT_EQ(x.l2Evictions, y.l2Evictions);
+    EXPECT_EQ(x.upgradesSilent, y.upgradesSilent);
+    EXPECT_EQ(x.busReads, y.busReads);
+    EXPECT_EQ(x.busReadXs, y.busReadXs);
+    EXPECT_EQ(x.busUpgrades, y.busUpgrades);
+    EXPECT_EQ(x.busWritebacks, y.busWritebacks);
+    EXPECT_EQ(x.snoopTagProbes, y.snoopTagProbes);
+    EXPECT_EQ(x.snoopHits, y.snoopHits);
+    EXPECT_EQ(x.snoopMisses, y.snoopMisses);
+    EXPECT_EQ(x.snoopSupplies, y.snoopSupplies);
+    EXPECT_EQ(x.wbInsertions, y.wbInsertions);
+    EXPECT_EQ(x.wbReclaims, y.wbReclaims);
+    EXPECT_EQ(a.snoopTransactions, b.snoopTransactions);
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    for (std::size_t p = 0; p < a.procs.size(); ++p) {
+        EXPECT_EQ(a.procs[p].accesses, b.procs[p].accesses) << p;
+        EXPECT_EQ(a.procs[p].l1Hits, b.procs[p].l1Hits) << p;
+        EXPECT_EQ(a.procs[p].snoopTagProbes, b.procs[p].snoopTagProbes)
+            << p;
+    }
+    for (unsigned bucket = 0; bucket < a.remoteHits.buckets(); ++bucket)
+        EXPECT_EQ(a.remoteHits.count(bucket), b.remoteHits.count(bucket));
+}
+
+/** Run an lu-derived workload under the given delivery batch size. */
+SimStats
+runWithBatch(unsigned batchRefs, bool stepDriven = false)
+{
+    SmpConfig cfg;
+    cfg.nprocs = 4;
+    cfg.l1.sizeBytes = 8 * 1024;
+    cfg.l1.blockBytes = 32;
+    cfg.l2.sizeBytes = 64 * 1024;
+    cfg.l2.blockBytes = 64;
+    cfg.l2.subblocks = 2;
+    cfg.filterSpecs = {"NULL", "EJ-16x2", "HJ(IJ-8x4x7,EJ-16x2)"};
+    cfg.batchRefs = batchRefs;
+
+    const trace::Workload workload(trace::appByName("lu"), cfg.nprocs,
+                                   0.02);
+    SmpSystem sys(cfg);
+    std::vector<trace::TraceSourcePtr> sources;
+    for (unsigned p = 0; p < cfg.nprocs; ++p)
+        sources.push_back(workload.makeSource(p));
+    sys.attachSources(std::move(sources));
+    if (stepDriven) {
+        while (sys.step()) {
+        }
+    } else {
+        sys.run();
+    }
+    return sys.stats();
+}
+
+} // namespace
+
+TEST(SmpSystem, BatchedAndScalarDeliveryAreBitIdentical)
+{
+    // The determinism anchor of the streaming refactor: the delivery
+    // batch size is a transport knob, never a semantic one.
+    const SimStats scalar = runWithBatch(1);
+    expectIdenticalStats(scalar, runWithBatch(256));
+    expectIdenticalStats(scalar, runWithBatch(5));  // odd size: refills
+                                                    // land mid-sweep
+}
+
+TEST(SmpSystem, StepDrivenAndRunAreBitIdentical)
+{
+    // step() (the instrumentable path) and run() (the batched hot path
+    // with the inlined L1 fast path) must simulate identically.
+    expectIdenticalStats(runWithBatch(64, /*stepDriven=*/true),
+                         runWithBatch(64, /*stepDriven=*/false));
 }
 
 TEST(SmpSystemDeathTest, RejectsBadConfigs)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "experiments/experiments.hh"
 #include "sim/sweep.hh"
 #include "trace/apps.hh"
@@ -261,6 +263,109 @@ TEST(RunCacheTest, MergedResultsIdenticalForAnyJobsCount)
         EXPECT_EQ(serial[i].traffic.allTagAccesses(),
                   parallel[i].traffic.allTagAccesses());
     }
+}
+
+TEST(SweepRunner, ReportsPerJobThroughput)
+{
+    const auto job = sampleJobs()[0];
+    const auto res = sim::SweepRunner::runOne(job);
+    EXPECT_EQ(res.totalRefs, res.stats.aggregate().accesses);
+    EXPECT_GT(res.totalRefs, 0u);
+    EXPECT_GT(res.elapsedSeconds, 0.0);
+    EXPECT_GT(res.refsPerSecond(), 0.0);
+
+    sim::SweepRunner runner(2);
+    const auto batch = runner.run({job, job});
+    EXPECT_GT(runner.lastBatchSeconds(), 0.0);
+    EXPECT_GT(sim::SweepRunner::aggregateRefsPerSecond(batch), 0.0);
+}
+
+TEST(SweepRunner, FileBackedJobMatchesInMemoryReplay)
+{
+    // Capture a small per-processor trace set, then check the streaming
+    // file-backed job simulates exactly what vector replay of the same
+    // records does.
+    const std::string path = "/tmp/jetty_test_sweep_capture.bin";
+    const trace::Workload workload(trace::appByName("lu"), 4, 0.01);
+    {
+        trace::TraceFileWriter writer(path, 4);
+        for (unsigned p = 0; p < 4; ++p) {
+            auto src = workload.makeSource(p);
+            writer.append(trace::collect(*src));
+            writer.endStream();
+        }
+        writer.close();
+    }
+
+    SystemVariant variant;
+    sim::SweepJob job;
+    job.cfg = variant.smpConfig();
+    job.cfg.filterSpecs = {"EJ-16x2"};
+    job.traceFiles = {path};
+    const auto from_file = sim::SweepRunner::runOne(job);
+
+    sim::SmpSystem sys(job.cfg);
+    std::vector<trace::TraceSourcePtr> sources;
+    for (unsigned p = 0; p < 4; ++p)
+        sources.push_back(std::make_unique<trace::VectorTraceSource>(
+            trace::readTraceStream(path, p)));
+    sys.attachSources(std::move(sources));
+    sys.run();
+
+    const auto a = from_file.stats.aggregate();
+    const auto b = sys.stats().aggregate();
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.snoopTagProbes, b.snoopTagProbes);
+    EXPECT_EQ(a.snoopMisses, b.snoopMisses);
+    expectSameStats(from_file.filterStats[0], sys.mergedFilterStats(0));
+    std::remove(path.c_str());
+}
+
+TEST(RunCacheTest, FileBackedWorkloadsKeyByContentDigest)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+
+    // Two identical captures under different paths, one divergent one.
+    const std::string a = "/tmp/jetty_test_digest_a.bin";
+    const std::string b = "/tmp/jetty_test_digest_b.bin";
+    const std::string c = "/tmp/jetty_test_digest_c.bin";
+    std::vector<trace::TraceRecord> recs;
+    {
+        const trace::Workload workload(trace::appByName("ff"), 2, 0.01);
+        auto src = workload.makeSource(0);
+        recs = trace::collect(*src, 20000);
+    }
+    trace::writeTraceFile(a, recs);
+    trace::writeTraceFile(b, recs);
+    recs[0].addr ^= 0x40;
+    trace::writeTraceFile(c, recs);
+
+    const auto request = [](const std::string &file) {
+        RunRequest req;
+        req.variant.nprocs = 4;
+        req.traceFiles = {file};
+        req.filterSpecs = {"EJ-16x2"};
+        req.app.name = "capture:" + file;
+        return req;
+    };
+
+    // Same content at a different path: pure cache hit.
+    const auto first = experiments::runMany({request(a)}).front();
+    EXPECT_EQ(cache.simulations(), 1u);
+    const auto second = experiments::runMany({request(b)}).front();
+    EXPECT_EQ(cache.simulations(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    expectSameStats(first.statsFor("EJ-16x2"), second.statsFor("EJ-16x2"));
+
+    // Different content: a different key, so it re-simulates.
+    experiments::runMany({request(c)});
+    EXPECT_EQ(cache.simulations(), 2u);
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    std::remove(c.c_str());
 }
 
 TEST(RunCacheTest, StatsBlockSizedFromVariant)

@@ -1,17 +1,21 @@
 /**
  * @file
  * Tests for the workload substrate: determinism, layout, page
- * scrambling, the application registry, stream behaviours, and the trace
- * file format.
+ * scrambling, the application registry, stream behaviours, the trace
+ * file formats (JTTRACE1/JTTRACE2), the nextBatch delivery contract,
+ * and the chunked FileStreamSource.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <set>
 
 #include "trace/apps.hh"
+#include "trace/file_stream_source.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_source.hh"
@@ -303,4 +307,362 @@ TEST(TraceFile, RejectsMissingFile)
 {
     EXPECT_EXIT(readTraceFile("/tmp/definitely_missing_jetty_trace.bin"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, LegacyV1ReadsTransparently)
+{
+    std::vector<TraceRecord> recs;
+    recs.push_back({AccessType::Read, 0xdeadbeefull});
+    recs.push_back({AccessType::Write, 0x20});
+
+    const std::string path = "/tmp/jetty_test_trace_v1.bin";
+    writeTraceFileV1(path, recs);
+    const auto info = readTraceFileInfo(path);
+    EXPECT_EQ(info.version, 1u);
+    ASSERT_EQ(info.streams(), 1u);
+    EXPECT_EQ(info.counts[0], recs.size());
+
+    const auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(back[i].addr, recs[i].addr);
+        EXPECT_EQ(back[i].type, recs[i].type);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CurrentWriterProducesV2)
+{
+    const std::string path = "/tmp/jetty_test_trace_v2.bin";
+    writeTraceFile(path, {{AccessType::Read, 0x40}});
+    EXPECT_EQ(readTraceFileInfo(path).version, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips)
+{
+    const std::string path = "/tmp/jetty_test_trace_empty.bin";
+    writeTraceFile(path, {});
+    EXPECT_TRUE(readTraceFile(path).empty());
+
+    FileStreamSource src(path);
+    EXPECT_EQ(src.records(), 0u);
+    TraceRecord r;
+    EXPECT_FALSE(src.next(r));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, Max56BitAddressRoundTrips)
+{
+    const std::string path = "/tmp/jetty_test_trace_max.bin";
+    writeTraceFile(path, {{AccessType::Write, kMaxTraceAddr}});
+    const auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].addr, kMaxTraceAddr);
+    EXPECT_EQ(back[0].type, AccessType::Write);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsAddressBeyond56Bits)
+{
+    EXPECT_EXIT(writeTraceFile("/tmp/jetty_test_trace_wide.bin",
+                               {{AccessType::Read, kMaxTraceAddr + 1}}),
+                ::testing::ExitedWithCode(1), "56-bit");
+}
+
+TEST(TraceFile, MultiStreamSectionsRoundTrip)
+{
+    const std::string path = "/tmp/jetty_test_trace_multi.bin";
+    {
+        TraceFileWriter writer(path, 3);
+        for (unsigned s = 0; s < 3; ++s) {
+            std::vector<TraceRecord> recs;
+            for (unsigned i = 0; i <= s; ++i)
+                recs.push_back({AccessType::Read,
+                                Addr{0x1000} * (s + 1) + i * 32});
+            writer.append(recs);
+            writer.endStream();
+        }
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), 6u);
+    }
+
+    const auto info = readTraceFileInfo(path);
+    EXPECT_EQ(info.version, 2u);
+    ASSERT_EQ(info.streams(), 3u);
+    for (unsigned s = 0; s < 3; ++s) {
+        const auto recs = readTraceStream(path, s);
+        ASSERT_EQ(recs.size(), s + 1u) << s;
+        EXPECT_EQ(recs[0].addr, Addr{0x1000} * (s + 1)) << s;
+    }
+    // The single-stream reader refuses a multi-section capture.
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "readTraceStream");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CorruptHeaderCountRejectedBeforeAllocation)
+{
+    // A v1 header claiming ~4 G records over an 8-record body used to
+    // drive a multi-gigabyte reserve(); it must now fail the size check.
+    const std::string path = "/tmp/jetty_test_trace_corrupt.bin";
+    std::vector<TraceRecord> recs(8, {AccessType::Read, 0x100});
+    writeTraceFileV1(path, recs);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const std::uint32_t bogus = 0xffffffffu;
+        ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);  // v1 count field
+        ASSERT_EQ(std::fwrite(&bogus, 4, 1, f), 1u);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(readTraceFile(path), ::testing::ExitedWithCode(1),
+                "exceeds the file size");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileRejected)
+{
+    const std::string path = "/tmp/jetty_test_trace_trunc.bin";
+    const std::string cut = "/tmp/jetty_test_trace_cut.bin";
+    std::vector<TraceRecord> recs(16, {AccessType::Write, 0x2000});
+    writeTraceFile(path, recs);
+
+    // Copy all but the last 5 bytes: a mid-record truncation.
+    {
+        std::FILE *in = std::fopen(path.c_str(), "rb");
+        std::FILE *out = std::fopen(cut.c_str(), "wb");
+        ASSERT_NE(in, nullptr);
+        ASSERT_NE(out, nullptr);
+        std::vector<unsigned char> bytes(4096);
+        const std::size_t n = std::fread(bytes.data(), 1, bytes.size(), in);
+        ASSERT_GT(n, 5u);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, n - 5, out), n - 5);
+        std::fclose(in);
+        std::fclose(out);
+    }
+    EXPECT_EXIT(readTraceFile(cut), ::testing::ExitedWithCode(1),
+                "exceeds the file size|inconsistent");
+    EXPECT_EXIT(FileStreamSource{cut}, ::testing::ExitedWithCode(1),
+                "exceeds the file size|inconsistent");
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+namespace
+{
+
+/**
+ * The nextBatch delivery contract: whatever mix of batch sizes a
+ * consumer uses, the records are exactly the ones repeated next() calls
+ * produce. @p make must return a fresh, equivalent source per call.
+ */
+void
+expectBatchEquivalence(const std::function<TraceSourcePtr()> &make)
+{
+    auto scalar_src = make();
+    std::vector<TraceRecord> scalar;
+    TraceRecord r;
+    while (scalar_src->next(r))
+        scalar.push_back(r);
+    ASSERT_GT(scalar.size(), 0u);
+
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{64}, scalar.size() + 7}) {
+        auto src = make();
+        std::vector<TraceRecord> got;
+        std::vector<TraceRecord> buf(batch);
+        std::size_t n;
+        while ((n = src->nextBatch(buf.data(), batch)) > 0) {
+            got.insert(got.end(), buf.begin(),
+                       buf.begin() + static_cast<std::ptrdiff_t>(n));
+            if (n < batch)
+                break;  // short count = exhausted
+        }
+        ASSERT_EQ(got.size(), scalar.size()) << "batch " << batch;
+        for (std::size_t i = 0; i < scalar.size(); ++i) {
+            ASSERT_EQ(got[i].addr, scalar[i].addr)
+                << "batch " << batch << " record " << i;
+            ASSERT_EQ(got[i].type, scalar[i].type)
+                << "batch " << batch << " record " << i;
+        }
+    }
+}
+
+} // namespace
+
+TEST(NextBatch, VectorSourceMatchesScalarDelivery)
+{
+    std::vector<TraceRecord> recs;
+    for (unsigned i = 0; i < 257; ++i)
+        recs.push_back({i % 3 == 0 ? AccessType::Write : AccessType::Read,
+                        Addr{0x8000} + i * 4});
+    expectBatchEquivalence(
+        [&] { return std::make_unique<VectorTraceSource>(recs); });
+}
+
+TEST(NextBatch, SyntheticSourceMatchesScalarDelivery)
+{
+    const Workload w(tinyProfile(), 4);
+    expectBatchEquivalence([&] { return w.makeSource(1); });
+}
+
+TEST(NextBatch, FileStreamSourceMatchesScalarDelivery)
+{
+    const std::string path = "/tmp/jetty_test_batch_file.bin";
+    Workload w(tinyProfile(), 2);
+    {
+        auto src = w.makeSource(0);
+        writeTraceFile(path, collect(*src, 1000));
+    }
+    // A chunk size that never divides the batch sizes exercises the
+    // refill boundaries inside nextBatch.
+    expectBatchEquivalence(
+        [&] { return std::make_unique<FileStreamSource>(path, 0, 37); });
+    std::remove(path.c_str());
+}
+
+TEST(FileStreamSource, StreamsWholeFileThroughSmallChunks)
+{
+    const std::string path = "/tmp/jetty_test_stream_chunks.bin";
+    Workload w(tinyProfile(), 2);
+    std::vector<TraceRecord> recs;
+    {
+        auto src = w.makeSource(1);
+        recs = collect(*src, 500);
+        writeTraceFile(path, recs);
+    }
+
+    FileStreamSource src(path, 0, 7);  // 7-record chunks over 500 records
+    EXPECT_EQ(src.records(), 500u);
+    TraceRecord r;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        ASSERT_TRUE(src.next(r)) << i;
+        ASSERT_EQ(r.addr, recs[i].addr) << i;
+    }
+    EXPECT_FALSE(src.next(r));
+    EXPECT_EQ(src.position(), 500u);
+
+    // reset() rewinds; clone() is independent and replays from record 0
+    // even when taken mid-stream.
+    src.reset();
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.addr, recs[0].addr);
+    auto clone = src.clone();
+    ASSERT_TRUE(clone->next(r));
+    EXPECT_EQ(r.addr, recs[0].addr);
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.addr, recs[1].addr);
+    std::remove(path.c_str());
+}
+
+TEST(FileStreamSource, ChunkArithmeticHandlesBeyond4GiRecords)
+{
+    // The v1 format's u32 count capped traces at 4 Gi records; the v2
+    // chunking math must address records past that boundary in 64 bits.
+    const std::uint64_t big = (std::uint64_t{1} << 32) + 123;
+    const std::uint64_t section = 24;  // one-stream v2 header size
+    EXPECT_EQ(FileStreamSource::recordByteOffset(section, big),
+              section + big * kTraceRecordBytes);
+    EXPECT_GT(FileStreamSource::recordByteOffset(section, big),
+              std::uint64_t{1} << 35);  // would wrap in 32-bit math
+
+    // Mid-stream refills take full chunks; the tail takes the remainder.
+    EXPECT_EQ(FileStreamSource::chunkRecordsAt(big, 0, 65536), 65536u);
+    EXPECT_EQ(FileStreamSource::chunkRecordsAt(big, big - 10, 65536), 10u);
+    EXPECT_EQ(FileStreamSource::chunkRecordsAt(big, big, 65536), 0u);
+}
+
+TEST(FileStreamSource, SparseHugeCaptureSeeksBeyond4Gi)
+{
+    // A real > 4 Gi-record JTTRACE2 file, laid out sparsely: only the
+    // header and the final record occupy disk. Reading near the end
+    // exercises genuine > 32 GiB file offsets through the streaming
+    // source; holes legitimately decode as zero-filled read records.
+    const std::string path = "/tmp/jetty_test_sparse_huge.bin";
+    const std::uint64_t count = (std::uint64_t{1} << 32) + 8;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char magic[8] = {'J', 'T', 'T', 'R', 'A', 'C', 'E', '2'};
+        // One stream section, reserved word zero (explicit little-endian).
+        const unsigned char head[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+        ASSERT_EQ(std::fwrite(magic, 1, 8, f), 8u);
+        ASSERT_EQ(std::fwrite(head, 1, 8, f), 8u);
+        unsigned char le[8];
+        for (int i = 0; i < 8; ++i)
+            le[i] = static_cast<unsigned char>((count >> (8 * i)) & 0xff);
+        ASSERT_EQ(std::fwrite(le, 1, 8, f), 8u);
+        // Seek to the last record and write it; the filesystem backs the
+        // hole with nothing.
+        const std::uint64_t last =
+            FileStreamSource::recordByteOffset(24, count - 1);
+        if (::fseeko(f, static_cast<off_t>(last), SEEK_SET) != 0) {
+            std::fclose(f);
+            std::remove(path.c_str());
+            GTEST_SKIP() << "filesystem lacks sparse-file support";
+        }
+        unsigned char rec[kTraceRecordBytes];
+        encodeTraceRecord({AccessType::Write, 0xabcdef}, rec);
+        if (std::fwrite(rec, 1, kTraceRecordBytes, f) !=
+            kTraceRecordBytes) {
+            std::fclose(f);
+            std::remove(path.c_str());
+            GTEST_SKIP() << "filesystem rejected the sparse extent";
+        }
+        std::fclose(f);
+    }
+
+    const auto info = readTraceFileInfo(path);
+    ASSERT_EQ(info.counts[0], count);
+
+    FileStreamSource src(path);
+    EXPECT_EQ(src.records(), count);
+    src.seekTo(count - 3);
+    TraceRecord r;
+    ASSERT_TRUE(src.next(r));  // hole: zero record
+    EXPECT_EQ(r.addr, 0u);
+    EXPECT_EQ(r.type, AccessType::Read);
+    ASSERT_TRUE(src.next(r));
+    ASSERT_TRUE(src.next(r));  // the record we wrote
+    EXPECT_EQ(r.addr, 0xabcdefu);
+    EXPECT_EQ(r.type, AccessType::Write);
+    EXPECT_FALSE(src.next(r));  // exactly `count` records, then the end
+    std::remove(path.c_str());
+}
+
+TEST(FileStreamSource, MakeFileSourcesCoversTheReplayRules)
+{
+    const std::string multi = "/tmp/jetty_test_sources_multi.bin";
+    const std::string single = "/tmp/jetty_test_sources_single.bin";
+    {
+        TraceFileWriter writer(multi, 2);
+        writer.append({{AccessType::Read, 0x100}});
+        writer.endStream();
+        writer.append({{AccessType::Write, 0x200}});
+        writer.endStream();
+        writer.close();
+    }
+    writeTraceFile(single, {{AccessType::Read, 0x300}});
+
+    // One multi-section file: section p feeds processor p.
+    auto per_proc = makeFileSources({multi}, 2);
+    ASSERT_EQ(per_proc.size(), 2u);
+    TraceRecord r;
+    ASSERT_TRUE(per_proc[1]->next(r));
+    EXPECT_EQ(r.addr, 0x200u);
+
+    // One single-section file: clones everywhere.
+    auto clones = makeFileSources({single}, 3);
+    ASSERT_EQ(clones.size(), 3u);
+    for (auto &s : clones) {
+        ASSERT_TRUE(s->next(r));
+        EXPECT_EQ(r.addr, 0x300u);
+    }
+
+    // Mismatched stream/processor counts are rejected.
+    EXPECT_EXIT(makeFileSources({multi}, 4), ::testing::ExitedWithCode(1),
+                "2 streams");
+    std::remove(multi.c_str());
+    std::remove(single.c_str());
 }

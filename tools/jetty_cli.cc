@@ -5,24 +5,42 @@
  * and energy tables, or capture/replay binary traces.
  *
  * Usage:
- *   jetty_cli run   [--app NAME] [--procs N] [--no-subblock]
- *                   [--scale F] [--filters SPEC[,SPEC...]]
- *   jetty_cli sweep [--apps NAME[,NAME...]|all] [--procs N[,M...]]
- *                   [--no-subblock] [--scale F] [--jobs N]
- *                   [--filters SPEC[,SPEC...]]
+ *   jetty_cli run     [--app NAME] [--procs N] [--no-subblock]
+ *                     [--scale F] [--filters SPEC[,SPEC...]]
+ *   jetty_cli sweep   [--apps NAME[,NAME...]|all] [--procs N[,M...]]
+ *                     [--no-subblock] [--scale F] [--jobs N]
+ *                     [--filters SPEC[,SPEC...]]
  *   jetty_cli apps
  *   jetty_cli filters
- *   jetty_cli trace --app NAME --proc P --out FILE [--limit N]
- *   jetty_cli replay --in FILE[,FILE...] [--filters SPEC[,...]]
- *                    (one file: cloned onto --procs N processors)
+ *   jetty_cli capture --app NAME --out FILE [--procs N] [--scale F]
+ *                     [--limit N]
+ *                     (records every processor's stream into one
+ *                     JTTRACE2 file, one section per processor,
+ *                     streamed — the capture never lives in memory)
+ *   jetty_cli trace   --app NAME --proc P --out FILE [--limit N]
+ *                     (single-processor capture, one-section JTTRACE2)
+ *   jetty_cli replay  --in FILE[,FILE...] [--filters SPEC[,...]]
+ *                     [--procs N]
+ *                     (per-processor files, one multi-section capture,
+ *                     or one single-section file cloned everywhere;
+ *                     streamed and cached by content digest)
+ *   jetty_cli bench   [--app NAME | --in FILE[,FILE...]] [--procs N]
+ *                     [--scale F] [--filters SPEC[,...]] [--batch N]
+ *                     [--repeat K] [--json FILE]
+ *                     (sustained refs/sec of the batched delivery
+ *                     pipeline; best of K cold runs, optional JSON)
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <chrono>
 
 #include "core/filter_registry.hh"
 #include "core/filter_spec.hh"
@@ -30,6 +48,7 @@
 #include "sim/latency.hh"
 #include "sim/sweep.hh"
 #include "trace/apps.hh"
+#include "trace/file_stream_source.hh"
 #include "trace/trace_file.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -59,6 +78,20 @@ parseOptions(int argc, char **argv, int first)
         }
     }
     return opts;
+}
+
+/** Escape backslashes and quotes so a string can sit in a JSON value. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
 }
 
 /** Split a filter list on commas, but not inside HJ(...) parentheses. */
@@ -235,12 +268,17 @@ cmdSweep(const std::map<std::string, std::string> &opts)
     }
 
     const auto sims_before = experiments::RunCache::instance().simulations();
+    const auto sweep_start = std::chrono::steady_clock::now();
     const auto runs = experiments::runMany(requests, jobs);
+    const double sweep_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
     const std::uint64_t simulated =
         experiments::RunCache::instance().simulations() - sims_before;
 
     TextTable table;
-    std::vector<std::string> head{"app", "procs", "snoopMiss%"};
+    std::vector<std::string> head{"app", "procs", "snoopMiss%", "Mrefs/s"};
     for (const auto &s : specs)
         head.push_back(s);
     table.header(head);
@@ -252,6 +290,9 @@ cmdSweep(const std::map<std::string, std::string> &opts)
             run.abbrev,
             std::to_string(requests[i].variant.nprocs),
             TextTable::pct(percent(agg.snoopMisses, agg.snoopTagProbes)),
+            run.simSeconds > 0
+                ? TextTable::num(run.totalRefs / 1e6 / run.simSeconds, 1)
+                : std::string("-"),
         };
         for (const auto &s : specs)
             row.push_back(TextTable::pct(100.0 * run.statsFor(s).coverage()));
@@ -263,13 +304,19 @@ cmdSweep(const std::map<std::string, std::string> &opts)
     // requested (or default) worker count never exceeds the number of
     // simulations there were to run.
     const std::uint64_t want = jobs ? jobs : sim::SweepRunner::defaultJobs();
+    // Aggregate delivery rate of the whole sweep: references behind every
+    // answered run (cache hits included) over the sweep's wall clock.
+    std::uint64_t sim_refs = 0;
+    for (const auto &run : runs)
+        sim_refs += run.totalRefs;
     std::printf("\n%zu runs (%llu simulated, %llu cache hits), "
-                "%llu workers\n",
+                "%llu workers, %.1f Mrefs/s served\n",
                 runs.size(),
                 static_cast<unsigned long long>(simulated),
                 static_cast<unsigned long long>(
                     experiments::RunCache::instance().hits()),
-                static_cast<unsigned long long>(std::min(want, simulated)));
+                static_cast<unsigned long long>(std::min(want, simulated)),
+                sweep_seconds > 0 ? sim_refs / 1e6 / sweep_seconds : 0.0);
     return 0;
 }
 
@@ -342,55 +389,210 @@ cmdTrace(const std::map<std::string, std::string> &opts)
     return 0;
 }
 
+/** Capture every processor's stream into one multi-section JTTRACE2
+ *  file. Streams are written in bounded chunks, so a capture of any
+ *  length (beyond 4 Gi records, beyond memory) works. */
+int
+cmdCapture(const std::map<std::string, std::string> &opts)
+{
+    if (!opts.count("app") || !opts.count("out"))
+        fatal("capture needs --app and --out");
+    unsigned nprocs = 4;
+    if (opts.count("procs")) {
+        if (!parseUnsigned(opts.at("procs"), nprocs) || nprocs < 1)
+            fatal("capture --procs needs a count >= 1");
+    }
+    const double scale =
+        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 1.0;
+    const std::uint64_t limit =
+        opts.count("limit")
+            ? static_cast<std::uint64_t>(
+                  std::atoll(opts.at("limit").c_str()))
+            : 0;  // 0 = the profile's full stream
+
+    const trace::Workload workload(trace::appByName(opts.at("app")),
+                                   nprocs, scale);
+    trace::TraceFileWriter writer(opts.at("out"), nprocs);
+    std::vector<trace::TraceRecord> buf(64 * 1024);
+    for (unsigned p = 0; p < nprocs; ++p) {
+        auto src = workload.makeSource(p);
+        std::uint64_t left =
+            limit ? limit : std::numeric_limits<std::uint64_t>::max();
+        while (left > 0) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, buf.size()));
+            const std::size_t got = src->nextBatch(buf.data(), want);
+            writer.append(buf.data(), got);
+            left -= got;
+            if (got < want)
+                break;
+        }
+        writer.endStream();
+    }
+    writer.close();
+    std::printf("captured %llu references (%u per-processor streams) "
+                "to %s\n",
+                static_cast<unsigned long long>(writer.recordsWritten()),
+                nprocs, opts.at("out").c_str());
+    return 0;
+}
+
+/** Processor count a replay file list drives; --procs only matters for
+ *  one single-section file (trace::inferReplayProcs rules). */
+unsigned
+replayProcs(const std::vector<std::string> &files,
+            const std::map<std::string, std::string> &opts)
+{
+    unsigned fallback = 4;
+    if (opts.count("procs")) {
+        if (!parseUnsigned(opts.at("procs"), fallback) || fallback < 2)
+            fatal("replay --procs needs a count >= 2");
+    }
+    return trace::inferReplayProcs(files, fallback);
+}
+
 int
 cmdReplay(const std::map<std::string, std::string> &opts)
 {
     if (!opts.count("in"))
         fatal("replay needs --in FILE[,FILE...] (one per processor)");
-    const auto files = split(opts.at("in"), ',');
+    std::vector<std::string> files;
+    for (const auto &f : split(opts.at("in"), ','))
+        files.push_back(trim(f));
 
-    std::vector<trace::TraceSourcePtr> sources;
-    if (files.size() == 1) {
-        // Homogeneous load: clone one captured stream onto every
-        // processor (the TraceSource replay contract).
-        unsigned nprocs = 4;
-        if (opts.count("procs")) {
-            if (!parseUnsigned(opts.at("procs"), nprocs) || nprocs < 2)
-                fatal("replay --procs needs a count >= 2");
-        }
-        const trace::VectorTraceSource proto(
-            trace::readTraceFile(trim(files[0])));
-        for (unsigned p = 0; p < nprocs; ++p)
-            sources.push_back(proto.clone());
-    } else {
-        for (const auto &f : files) {
-            sources.push_back(std::make_unique<trace::VectorTraceSource>(
-                trace::readTraceFile(trim(f))));
-        }
-    }
+    // Replays go through the experiment layer: the sources stream from
+    // disk (nothing is materialized) and the run cache keys the workload
+    // by the files' content digests, so repeated replays of one capture
+    // simulate once per process.
+    experiments::RunRequest req;
+    req.variant.nprocs = replayProcs(files, opts);
+    req.traceFiles = files;
+    req.filterSpecs = filterList(opts);
+    req.app.name = "replay:" + opts.at("in");
+    req.app.abbrev = "rp";
 
-    experiments::SystemVariant variant;
-    variant.nprocs = static_cast<unsigned>(sources.size());
-    sim::SmpConfig cfg = variant.smpConfig();
-    cfg.filterSpecs = filterList(opts);
+    std::vector<experiments::RunRequest> requests{req};
+    const auto run = experiments::runMany(requests).front();
 
-    sim::SmpSystem sys(cfg);
-    sys.attachSources(std::move(sources));
-    sys.run();
-
-    const auto agg = sys.stats().aggregate();
+    const auto agg = run.stats.aggregate();
     std::printf("replayed %.2fM refs on %u processors; snoops miss "
                 "%.1f%%\n\n",
-                agg.accesses / 1e6, variant.nprocs,
+                agg.accesses / 1e6, req.variant.nprocs,
                 percent(agg.snoopMisses, agg.snoopTagProbes));
     TextTable table;
     table.header({"filter", "coverage"});
-    for (std::size_t i = 0; i < sys.bank(0).size(); ++i) {
-        const auto merged = sys.mergedFilterStats(i);
-        table.row({sys.bank(0).filterAt(i).name(),
-                   TextTable::pct(100.0 * merged.coverage())});
+    for (std::size_t i = 0; i < run.filterNames.size(); ++i) {
+        table.row({run.filterNames[i],
+                   TextTable::pct(100.0 * run.filterStats[i].coverage())});
     }
     table.print();
+    return 0;
+}
+
+/**
+ * Sustained throughput of the batched delivery pipeline: best of K cold
+ * runs (fresh system and sources each time, only run() timed), reported
+ * per run and as JSON for trend tracking.
+ */
+int
+cmdBench(const std::map<std::string, std::string> &opts)
+{
+    using Clock = std::chrono::steady_clock;
+
+    experiments::SystemVariant variant;
+    if (opts.count("procs")) {
+        if (!parseUnsigned(opts.at("procs"), variant.nprocs) ||
+            variant.nprocs < 2) {
+            fatal("bench --procs needs a count >= 2");
+        }
+    }
+    const double scale =
+        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 1.0;
+    unsigned repeat = 3;
+    if (opts.count("repeat") &&
+        (!parseUnsigned(opts.at("repeat"), repeat) || repeat < 1)) {
+        fatal("bench --repeat needs a count >= 1");
+    }
+    const auto specs = filterList(opts);
+
+    sim::SmpConfig cfg = variant.smpConfig();
+    cfg.filterSpecs = specs;
+    if (opts.count("batch")) {
+        unsigned batch = 0;
+        if (!parseUnsigned(opts.at("batch"), batch) || batch < 1)
+            fatal("bench --batch needs a count >= 1");
+        cfg.batchRefs = batch;
+    }
+
+    std::vector<std::string> files;
+    std::unique_ptr<trace::Workload> workload;
+    std::string name;
+    if (opts.count("in")) {
+        for (const auto &f : split(opts.at("in"), ','))
+            files.push_back(trim(f));
+        variant.nprocs = replayProcs(files, opts);
+        cfg.nprocs = variant.nprocs;
+        name = opts.at("in");
+    } else {
+        const std::string app =
+            opts.count("app") ? opts.at("app") : std::string("lu");
+        workload = std::make_unique<trace::Workload>(
+            trace::appByName(app), variant.nprocs, scale);
+        name = app;
+    }
+
+    std::uint64_t refs = 0;
+    std::vector<double> seconds;
+    for (unsigned r = 0; r < repeat; ++r) {
+        sim::SmpSystem sys(cfg);
+        std::vector<trace::TraceSourcePtr> sources;
+        if (workload) {
+            for (unsigned p = 0; p < cfg.nprocs; ++p)
+                sources.push_back(workload->makeSource(p));
+        } else {
+            sources = trace::makeFileSources(files, cfg.nprocs);
+        }
+        sys.attachSources(std::move(sources));
+        const auto t0 = Clock::now();
+        sys.run();
+        const auto t1 = Clock::now();
+        seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+        refs = sys.stats().aggregate().accesses;
+    }
+    const double best = *std::min_element(seconds.begin(), seconds.end());
+
+    std::printf("bench %s: %u procs, %zu filters, batch %u, %.2fM refs\n",
+                name.c_str(), cfg.nprocs, specs.size(), cfg.batchRefs,
+                refs / 1e6);
+    for (unsigned r = 0; r < repeat; ++r) {
+        std::printf("  run %u: %.3f s  (%.1f Mrefs/s)\n", r + 1,
+                    seconds[r], refs / 1e6 / seconds[r]);
+    }
+    std::printf("sustained: %.1f Mrefs/s (best of %u)\n", refs / 1e6 / best,
+                repeat);
+
+    if (opts.count("json")) {
+        std::FILE *jf = std::fopen(opts.at("json").c_str(), "w");
+        if (!jf)
+            fatal("bench: cannot open '" + opts.at("json") + "'");
+        std::fprintf(jf,
+                     "{\n"
+                     "  \"bench\": \"jetty_cli\",\n"
+                     "  \"workload\": \"%s\",\n"
+                     "  \"procs\": %u,\n"
+                     "  \"batch_refs\": %u,\n"
+                     "  \"filters\": %zu,\n"
+                     "  \"refs\": %llu,\n"
+                     "  \"repeats\": %u,\n"
+                     "  \"best_seconds\": %.6f,\n"
+                     "  \"refs_per_sec\": %.0f\n"
+                     "}\n",
+                     jsonEscape(name).c_str(), cfg.nprocs, cfg.batchRefs,
+                     specs.size(), static_cast<unsigned long long>(refs),
+                     repeat, best, refs / best);
+        std::fclose(jf);
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
     return 0;
 }
 
@@ -401,7 +603,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
-                             "trace|replay [options]\n");
+                             "capture|trace|replay|bench [options]\n");
         return 1;
     }
     const std::string cmd = argv[1];
@@ -414,9 +616,13 @@ main(int argc, char **argv)
         return cmdApps();
     if (cmd == "filters")
         return cmdFilters();
+    if (cmd == "capture")
+        return cmdCapture(opts);
     if (cmd == "trace")
         return cmdTrace(opts);
     if (cmd == "replay")
         return cmdReplay(opts);
+    if (cmd == "bench")
+        return cmdBench(opts);
     fatal("unknown command '" + cmd + "'");
 }
