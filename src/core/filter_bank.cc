@@ -35,14 +35,21 @@ FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
     // Hot path: one call per filter per snoop per remote node. The
     // ground truth is identical for every filter, so the branch on it is
     // hoisted out of the loop; the counters each arm bumps are exactly
-    // those of the straightforward per-filter version.
+    // those of the straightforward per-filter version. The observer is
+    // likewise hoisted into one register-held pointer, so the unobserved
+    // bank pays a single never-taken branch per filter.
     const std::size_t n = filters_.size();
+    FilterProbeObserver *const obs = probeObserver_;
     if (unitInL2) {
         // Cached here: no filter may claim "not cached".
         for (std::size_t i = 0; i < n; ++i) {
             FilterStats &st = stats_[i];
             ++st.probes;
-            if (filters_[i]->probe(unitAddr)) {
+            const bool filtered = filters_[i]->probe(unitAddr);
+            if (obs)
+                obs->onFilterProbe(
+                    {owner_, i, unitAddr, true, blockInL2, filtered});
+            if (filtered) {
                 ++st.filtered;
                 ++st.safetyViolations;
                 if (checkSafety_) {
@@ -59,7 +66,11 @@ FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
         FilterStats &st = stats_[i];
         ++st.probes;
         ++st.wouldMiss;
-        if (filters_[i]->probe(unitAddr)) {
+        const bool filtered = filters_[i]->probe(unitAddr);
+        if (obs)
+            obs->onFilterProbe(
+                {owner_, i, unitAddr, false, blockInL2, filtered});
+        if (filtered) {
             ++st.filtered;
             ++st.filteredWouldMiss;
         } else {

@@ -65,6 +65,29 @@ struct FilterStats
     void merge(const FilterStats &o);
 };
 
+/**
+ * One filter's verdict on one snoop, with the ground truth it was judged
+ * against. The verification subsystem's no-false-negative checker hangs
+ * off this: `filtered && unitInL2` is the broken-coherence case.
+ */
+struct FilterProbeEvent
+{
+    ProcId owner = 0;          //!< node whose bank observed the snoop
+    std::size_t filterIdx = 0; //!< index into the bank
+    Addr unitAddr = 0;
+    bool unitInL2 = false;     //!< ground truth: unit valid in local L2
+    bool blockInL2 = false;    //!< ground truth: enclosing tag matched
+    bool filtered = false;     //!< the filter claimed "definitely absent"
+};
+
+/** Passive observer of every (filter, snoop) verdict. */
+class FilterProbeObserver
+{
+  public:
+    virtual ~FilterProbeObserver() = default;
+    virtual void onFilterProbe(const FilterProbeEvent &) = 0;
+};
+
 /** The bank of simultaneously evaluated filters for one processor. */
 class FilterBank : public mem::CacheEventListener
 {
@@ -105,10 +128,24 @@ class FilterBank : public mem::CacheEventListener
     /** Index of the filter whose name() equals @p name, or -1. */
     int indexOf(const std::string &name) const;
 
+    /**
+     * Attach (or detach with nullptr) a per-probe observer. @p owner tags
+     * the emitted events with the node this bank belongs to. Zero cost
+     * when unset: observeSnoop hoists one null check out of its loops.
+     */
+    void
+    setProbeObserver(FilterProbeObserver *obs, ProcId owner)
+    {
+        probeObserver_ = obs;
+        owner_ = owner;
+    }
+
   private:
     std::vector<SnoopFilterPtr> filters_;
     std::vector<FilterStats> stats_;
     bool checkSafety_;
+    FilterProbeObserver *probeObserver_ = nullptr;
+    ProcId owner_ = 0;
 };
 
 } // namespace jetty::filter

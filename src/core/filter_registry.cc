@@ -66,6 +66,32 @@ FilterRegistry::family(const std::string &key) const
     return nullptr;
 }
 
+std::string
+FilterRegistry::describeFailure(const std::string &raw) const
+{
+    std::string valid;
+    for (const auto &key : listFamilies()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += key;
+    }
+
+    const std::string spec = trim(raw);
+    if (spec.empty())
+        return "empty filter spec; valid families: " + valid;
+
+    // The family token is everything before the first parameter
+    // delimiter; spellings are case-insensitive ("ej-32x4" means EJ).
+    const std::string head =
+        toUpper(spec.substr(0, spec.find_first_of("-(")));
+    if (const FilterFamily *f = family(head)) {
+        return "malformed " + f->key + " spec '" + spec + "': expected " +
+               f->grammar + " (e.g. " + f->example + ")";
+    }
+    return "unknown filter family '" + head + "' in spec '" + spec +
+           "'; valid families: " + valid;
+}
+
 // ---- Built-in families ----------------------------------------------
 //
 // Each registrar below is the single place its family's grammar lives.

@@ -69,6 +69,15 @@ class FilterRegistry
     /** Registered family keys, sorted alphabetically. */
     std::vector<std::string> listFamilies() const;
 
+    /**
+     * Explain why @p spec failed to parse, for error messages. Names the
+     * offending token: a spec whose leading family token is registered is
+     * reported as malformed against that family's grammar and example;
+     * anything else is reported as an unknown family together with the
+     * list of valid ones. Only meaningful after tryMake() returned false.
+     */
+    std::string describeFailure(const std::string &spec) const;
+
     /** The family registered under @p key, or nullptr. */
     const FilterFamily *family(const std::string &key) const;
 

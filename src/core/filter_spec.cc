@@ -10,8 +10,9 @@ SnoopFilterPtr
 makeFilter(const std::string &spec, const AddressMap &amap)
 {
     SnoopFilterPtr out;
-    if (!FilterRegistry::instance().tryMake(spec, amap, &out))
-        fatal("makeFilter: malformed filter spec '" + spec + "'");
+    const auto &registry = FilterRegistry::instance();
+    if (!registry.tryMake(spec, amap, &out))
+        fatal("makeFilter: " + registry.describeFailure(spec));
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "mem/l1_cache.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bits.hh"
@@ -37,6 +38,12 @@ Addr
 L1Cache::tagOf(Addr a) const
 {
     return a >> (offsetBits_ + indexBits_);
+}
+
+Addr
+L1Cache::lineAddrOf(Addr tag, std::uint64_t set) const
+{
+    return (tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
 }
 
 int
@@ -126,8 +133,7 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     if (l.valid) {
         victim.valid = true;
         victim.dirty = l.dirty;
-        victim.lineAddr =
-            (l.tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
+        victim.lineAddr = lineAddrOf(l.tag, set);
         --validLines_;
     }
     l.valid = true;
@@ -136,6 +142,31 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     l.dirty = false;
     l.lastUse = ++useClock_;
     ++validLines_;
+}
+
+std::vector<L1LineInfo>
+L1Cache::validLineInfo() const
+{
+    std::vector<L1LineInfo> lines;
+    lines.reserve(validLines_);
+    const std::uint64_t sets = cfg_.sets();
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        for (std::uint64_t set = 0; set < sets; ++set) {
+            const Line &l = ways_[w][set];
+            if (!l.valid)
+                continue;
+            L1LineInfo info;
+            info.lineAddr = lineAddrOf(l.tag, set);
+            info.writable = l.writable;
+            info.dirty = l.dirty;
+            lines.push_back(info);
+        }
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const L1LineInfo &a, const L1LineInfo &b) {
+                  return a.lineAddr < b.lineAddr;
+              });
+    return lines;
 }
 
 bool

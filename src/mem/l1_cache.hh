@@ -36,6 +36,14 @@ struct L1Victim
     bool dirty = false;
 };
 
+/** One valid line as enumerated for state comparison (verify/). */
+struct L1LineInfo
+{
+    Addr lineAddr = 0;
+    bool writable = false;
+    bool dirty = false;
+};
+
 /** Tag/flag store of the L1 data cache (LRU replacement). */
 class L1Cache
 {
@@ -104,6 +112,13 @@ class L1Cache
     /** Number of valid lines (for invariant checks). */
     std::uint64_t validLines() const { return validLines_; }
 
+    /**
+     * Every valid line with its permission/dirty flags, sorted by line
+     * address. Differential verification compares this against the golden
+     * model's view; not for hot paths.
+     */
+    std::vector<L1LineInfo> validLineInfo() const;
+
     /** The configuration this cache was built with. */
     const L1Config &config() const { return cfg_; }
 
@@ -119,6 +134,7 @@ class L1Cache
 
     std::uint64_t setIndex(Addr a) const;
     Addr tagOf(Addr a) const;
+    Addr lineAddrOf(Addr tag, std::uint64_t set) const;
     int findWay(Addr a) const;
 
     L1Config cfg_;

@@ -1,5 +1,6 @@
 #include "mem/l2_cache.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bits.hh"
@@ -228,6 +229,46 @@ L2Cache::invalidateUnit(Addr addr)
         --validUnits_;
         notifyEvict(unitAlign(addr));
     }
+}
+
+std::vector<L2UnitInfo>
+L2Cache::validUnitInfo() const
+{
+    std::vector<L2UnitInfo> units;
+    units.reserve(validUnits_);
+    const std::uint64_t sets = cfg_.sets();
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        for (std::uint64_t set = 0; set < sets; ++set) {
+            const Block &b = ways_[w].blocks[set];
+            if (!b.valid)
+                continue;
+            for (unsigned u = 0; u < cfg_.subblocks; ++u) {
+                if (coherence::isValid(b.units[u]))
+                    units.push_back({unitAddrOf(b, set, u), b.units[u]});
+            }
+        }
+    }
+    std::sort(units.begin(), units.end(),
+              [](const L2UnitInfo &a, const L2UnitInfo &b) {
+                  return a.unitAddr < b.unitAddr;
+              });
+    return units;
+}
+
+std::vector<Addr>
+L2Cache::residentBlockAddrs() const
+{
+    std::vector<Addr> blocks;
+    const std::uint64_t sets = cfg_.sets();
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        for (std::uint64_t set = 0; set < sets; ++set) {
+            const Block &b = ways_[w].blocks[set];
+            if (b.valid)
+                blocks.push_back(unitAddrOf(b, set, 0));
+        }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
 }
 
 void

@@ -37,6 +37,13 @@ struct L2Victim
     coherence::State state = coherence::State::Invalid;
 };
 
+/** One valid coherence unit as enumerated for state comparison. */
+struct L2UnitInfo
+{
+    Addr unitAddr = 0;
+    coherence::State state = coherence::State::Invalid;
+};
+
 /**
  * Tag/state store of the subblocked L2. Replacement within a set is LRU.
  * Inclusion bookkeeping (invalidating L1 copies) is the owner's job; the
@@ -99,6 +106,21 @@ class L2Cache
 
     /** Count of currently valid coherence units (for invariant checks). */
     std::uint64_t validUnits() const { return validUnits_; }
+
+    /**
+     * Every valid coherence unit with its state, sorted by unit address.
+     * Differential verification compares this against the golden model's
+     * view; not for hot paths.
+     */
+    std::vector<L2UnitInfo> validUnitInfo() const;
+
+    /**
+     * Block addresses of every resident tag, sorted — including blocks
+     * whose units were all invalidated by snoops but that still hold a
+     * way (their tag match is what a snoop probe reports, so they are
+     * filter-visible state and must agree with the golden model).
+     */
+    std::vector<Addr> residentBlockAddrs() const;
 
     /** The configuration this cache was built with. */
     const L2Config &config() const { return cfg_; }

@@ -33,6 +33,35 @@ WritebackBuffer::contains(Addr unitAddr) const
     return false;
 }
 
+bool
+WritebackBuffer::snoop(Addr unitAddr, bool invalidate)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->unitAddr != unitAddr)
+            continue;
+        if (invalidate) {
+            entries_.erase(it);
+        } else if (it->state == coherence::State::Modified) {
+            it->state = coherence::State::Owned;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+WritebackBuffer::demoteForRead(Addr unitAddr)
+{
+    for (auto &e : entries_) {
+        if (e.unitAddr == unitAddr) {
+            if (e.state == coherence::State::Modified)
+                e.state = coherence::State::Owned;
+            return true;
+        }
+    }
+    return false;
+}
+
 WbEntry
 WritebackBuffer::take(Addr unitAddr, bool &found)
 {

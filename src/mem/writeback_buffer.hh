@@ -62,6 +62,30 @@ class WritebackBuffer
      */
     WbEntry take(Addr unitAddr, bool &found);
 
+    /**
+     * A remote BusRead snooped @p unitAddr here and the buffer supplied
+     * the data: a Modified entry is no longer the only copy and demotes
+     * to Owned (still dirty, still responsible for the memory update, but
+     * a later reclaim must not resurrect write permission while the
+     * reader holds its Shared copy). Owned entries are unchanged.
+     *
+     * @return true when an entry for @p unitAddr existed.
+     */
+    bool demoteForRead(Addr unitAddr);
+
+    /**
+     * One bus snoop's whole buffer interaction in a single scan:
+     * @p invalidate (BusReadX/BusUpgrade — the requester takes
+     * ownership) removes the entry; otherwise (a supplying BusRead) a
+     * Modified entry demotes to Owned as in demoteForRead().
+     *
+     * @return true when the buffer held @p unitAddr (the snoop "hit").
+     */
+    bool snoop(Addr unitAddr, bool invalidate);
+
+    /** The pending victims in FIFO order (verification / tests). */
+    const std::deque<WbEntry> &entries() const { return entries_; }
+
   private:
     std::deque<WbEntry> entries_;
     unsigned capacity_;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Observer hooks of the SMP simulation, the attachment points of the
+ * verification subsystem (verify/). An observer sees every retired
+ * reference, every per-target snoop with its pre/post MOESI states, and
+ * every bus transaction.
+ *
+ * Hooks are strictly passive: the simulation makes identical state
+ * changes with or without an observer. When no observer is set the
+ * batched run() hot path pays nothing — SmpSystem only falls back from
+ * the inlined L1 fast path to the fully-instrumented per-reference route
+ * while an observer is attached (both routes are bit-identical, so
+ * attaching one never changes what is being observed).
+ */
+
+#ifndef JETTY_SIM_OBSERVER_HH
+#define JETTY_SIM_OBSERVER_HH
+
+#include "coherence/bus_txn.hh"
+#include "coherence/moesi.hh"
+#include "util/types.hh"
+
+namespace jetty::sim
+{
+
+/** One remote node's view of one bus transaction. */
+struct SnoopEvent
+{
+    ProcId requester = 0;  //!< node that issued the transaction
+    ProcId target = 0;     //!< node being snooped (never == requester)
+    coherence::BusOp op = coherence::BusOp::BusRead;
+    Addr unitAddr = 0;     //!< coherence-unit aligned address
+
+    /** Target L2 unit state before/after the snoop transition. */
+    coherence::State before = coherence::State::Invalid;
+    coherence::State after = coherence::State::Invalid;
+
+    bool wbHit = false;     //!< target's write-back buffer held the unit
+    bool supplied = false;  //!< target's L2 sourced the data
+};
+
+/** Passive observer of the simulation's event streams. */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** Reference by processor @p p retired (all side effects applied). */
+    virtual void onReference(ProcId, AccessType, Addr) {}
+
+    /** One remote node processed one snoop. Fires once per (transaction,
+     *  target) pair, before onBusTransaction for the transaction. */
+    virtual void onSnoop(const SnoopEvent &) {}
+
+    /** A bus transaction completed; @p remoteCopies is the number of
+     *  remote nodes (L2 or write-back buffer) that held the unit. */
+    virtual void onBusTransaction(ProcId /*requester*/, coherence::BusOp,
+                                  Addr /*unitAddr*/,
+                                  unsigned /*remoteCopies*/)
+    {}
+};
+
+} // namespace jetty::sim
+
+#endif // JETTY_SIM_OBSERVER_HH

@@ -1,7 +1,6 @@
 #include "sim/smp_system.hh"
 
 #include <algorithm>
-#include <cassert>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -93,6 +92,16 @@ SmpSystem::step()
 void
 SmpSystem::run()
 {
+    // With an observer attached, take the step() route: it funnels every
+    // reference through processorAccess(), which is where the hooks
+    // fire, and it is bit-identical to the batched loop below (asserted
+    // in test_sim). The hooks-unset hot path is untouched.
+    if (observer_) {
+        while (step()) {
+        }
+        return;
+    }
+
     // The batched hot loop. The interleaving is exactly step()'s — one
     // reference per live processor per sweep — but references needing no
     // L2 or bus interaction (the vast majority) are retired inline via
@@ -156,6 +165,13 @@ SmpSystem::bank(ProcId p) const
     return *nodes_.at(p)->bank;
 }
 
+void
+SmpSystem::setFilterProbeObserver(filter::FilterProbeObserver *obs)
+{
+    for (unsigned p = 0; p < nodes_.size(); ++p)
+        nodes_[p]->bank->setProbeObserver(obs, p);
+}
+
 filter::FilterStats
 SmpSystem::mergedFilterStats(std::size_t filterIdx) const
 {
@@ -200,17 +216,19 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
         bool copy_here = false;
 
         // 1. The write-back buffer is always snooped (never filtered).
-        if (node.wb->contains(unitAddr)) {
+        //    One scan settles the hit, the ownership transfer on
+        //    BusReadX/BusUpgrade (the pending memory update is
+        //    obsolete), and the M->O demotion on a supplying BusRead —
+        //    without the demotion the owner's later reclaim would
+        //    resurrect an M (write-without-bus) copy while the reader
+        //    still holds Shared, the silent-stale-read coherence break
+        //    the differential checkers caught.
+        const bool wb_hit = node.wb->snoop(
+            unitAddr, op == BusOp::BusReadX || op == BusOp::BusUpgrade);
+        if (wb_hit) {
             copy_here = true;
             ++qs.wbSnoopsHit;
             resp.suppliedByCache = true;
-            if (op == BusOp::BusReadX || op == BusOp::BusUpgrade) {
-                // The requester takes ownership: the pending memory
-                // update is obsolete.
-                bool found = false;
-                node.wb->take(unitAddr, found);
-                assert(found);
-            }
         }
 
         // 2. The JETTY bank observes the snoop with L2 ground truth
@@ -251,9 +269,27 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
 
         if (copy_here)
             ++resp.remoteCopies;
+
+        if (observer_) {
+            // Emitted after the transition and inclusion enforcement, so
+            // a checker sees the settled post-snoop node state.
+            SnoopEvent ev;
+            ev.requester = requester;
+            ev.target = q;
+            ev.op = op;
+            ev.unitAddr = unitAddr;
+            ev.before = before;
+            ev.after = outcome.next;
+            ev.wbHit = wb_hit;
+            ev.supplied = outcome.supplied;
+            observer_->onSnoop(ev);
+        }
     }
 
     stats_.remoteHits.sample(resp.remoteCopies);
+    if (observer_)
+        observer_->onBusTransaction(requester, op, unitAddr,
+                                    resp.remoteCopies);
     return resp;
 }
 
@@ -342,6 +378,8 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
         node.l1->touch(unit);
         if (type == AccessType::Write)
             node.l1->markDirty(unit);
+        if (observer_)
+            observer_->onReference(p, type, addr);
         return;
     }
 
@@ -373,6 +411,8 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
         }
         node.l1->setWritable(unit, true);
         node.l1->markDirty(unit);
+        if (observer_)
+            observer_->onReference(p, type, addr);
         return;
     }
 
@@ -434,6 +474,9 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
         }
         ++ps.traffic.localDataWrites;
     }
+
+    if (observer_)
+        observer_->onReference(p, type, addr);
 }
 
 } // namespace jetty::sim

@@ -24,6 +24,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
 #include "mem/writeback_buffer.hh"
+#include "sim/observer.hh"
 #include "sim/sim_stats.hh"
 #include "trace/trace_source.hh"
 
@@ -105,9 +106,26 @@ class SmpSystem
     mem::L2Cache &l2(ProcId p) { return *nodes_[p]->l2; }
     mem::L1Cache &l1(ProcId p) { return *nodes_[p]->l1; }
     mem::WritebackBuffer &wb(ProcId p) { return *nodes_[p]->wb; }
+    const mem::L2Cache &l2(ProcId p) const { return *nodes_[p]->l2; }
+    const mem::L1Cache &l1(ProcId p) const { return *nodes_[p]->l1; }
+    const mem::WritebackBuffer &wb(ProcId p) const { return *nodes_[p]->wb; }
 
     /** The configuration the system was built with. */
     const SmpConfig &config() const { return cfg_; }
+
+    /**
+     * Attach (or detach with nullptr) a passive observer of references,
+     * snoops, and bus transactions (sim/observer.hh). While an observer
+     * is attached run() routes every reference through the fully
+     * instrumented per-reference path instead of the inlined L1 fast
+     * path — the two paths are bit-identical, so the observed simulation
+     * is exactly the unobserved one. With no observer the hot loop pays
+     * nothing.
+     */
+    void setObserver(SimObserver *obs) { observer_ = obs; }
+
+    /** Attach a per-(filter, snoop) observer to every node's bank. */
+    void setFilterProbeObserver(filter::FilterProbeObserver *obs);
 
   private:
     struct Node
@@ -148,6 +166,7 @@ class SmpSystem
     SmpConfig cfg_;
     std::vector<std::unique_ptr<Node>> nodes_;
     SimStats stats_;
+    SimObserver *observer_ = nullptr;
 };
 
 } // namespace jetty::sim

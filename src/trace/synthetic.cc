@@ -35,6 +35,18 @@ alignUp(std::uint64_t v)
 }
 
 /**
+ * The one place a (profile seed, processor) pair becomes an Rng seed.
+ * Construction and reset() must derive the identical value or a rewound
+ * source would replay a different stream, so the derivation lives here
+ * rather than being spelled out at each site.
+ */
+std::uint64_t
+sourceSeed(std::uint64_t profileSeed, ProcId proc)
+{
+    return profileSeed * kSeedMix + proc * 7919 + 1;
+}
+
+/**
  * Per-processor generator. Holds per-stream walk state and a small reuse
  * ring that models register/L1-resident temporal locality.
  */
@@ -46,7 +58,7 @@ class SyntheticSource : public TraceSource
                     const std::vector<StreamLayout> &layouts)
         : workload_(workload), profile_(profile), nprocs_(nprocs),
           proc_(proc), accesses_(accesses), remaining_(accesses),
-          rng_(profile.seed * 0x9e3779b97f4a7c15ULL + proc * 7919 + 1)
+          rng_(sourceSeed(profile.seed, proc))
     {
         streams_.reserve(layouts.size());
         double total_weight = 0;
@@ -73,7 +85,7 @@ class SyntheticSource : public TraceSource
     {
         remaining_ = accesses_;
         issued_ = 0;
-        rng_ = Rng(profile_.seed * 0x9e3779b97f4a7c15ULL + proc_ * 7919 + 1);
+        rng_ = Rng(sourceSeed(profile_.seed, proc_));
         for (auto &st : streams_) {
             st.pos = 0;
             st.accesses = 0;

@@ -16,6 +16,24 @@ namespace jetty
 {
 
 /**
+ * The golden-ratio mixing constant shared by every seed derivation in the
+ * tree (splitmix64 increment, per-processor stream seeding, fuzzer round
+ * seeds). Naming it keeps the derivations identical across call sites, so
+ * a seed recorded in a fuzz-repro header reproduces the same streams on
+ * every platform and in every future build.
+ */
+constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ULL;
+
+/**
+ * The deterministic default seed. Anything that draws random numbers
+ * without an explicit seed (Rng's default constructor, the trace fuzzer's
+ * FuzzConfig) starts here, never from entropy, so two runs of the same
+ * binary are bit-identical and a repro file only needs to record the seed
+ * when the caller overrode it.
+ */
+constexpr std::uint64_t kDefaultRngSeed = kSeedMix;
+
+/**
  * xoshiro256** pseudo-random generator (public-domain algorithm by
  * Blackman & Vigna), seeded via splitmix64 so that any 64-bit seed gives a
  * well-mixed state.
@@ -24,12 +42,12 @@ class Rng
 {
   public:
     /** Construct with a 64-bit seed; equal seeds give equal streams. */
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    explicit Rng(std::uint64_t seed = kDefaultRngSeed)
     {
         // splitmix64 expansion of the seed into 4 state words.
         std::uint64_t x = seed;
         for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ULL;
+            x += kSeedMix;
             std::uint64_t z = x;
             z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
             z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared diagnostic formatting for the verification subsystem, so the
+ * golden-model diffs and the invariant-checker reports render addresses
+ * identically.
+ */
+
+#ifndef JETTY_VERIFY_FORMAT_HH
+#define JETTY_VERIFY_FORMAT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/types.hh"
+
+namespace jetty::verify
+{
+
+/** "0x…" rendering of an address for violation and diff messages. */
+inline std::string
+hexAddr(Addr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+} // namespace jetty::verify
+
+#endif // JETTY_VERIFY_FORMAT_HH

@@ -11,6 +11,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
 #include "mem/writeback_buffer.hh"
+#include "util/random.hh"
 
 using namespace jetty;
 using namespace jetty::mem;
@@ -371,4 +372,180 @@ TEST(WritebackBuffer, CapacityReported)
     wb.push({0x1, State::Modified});
     EXPECT_TRUE(wb.hasRoom());
     EXPECT_EQ(wb.size(), 1u);
+}
+
+TEST(WritebackBuffer, DrainOrderSurvivesSnoopPressure)
+{
+    // Remote snoops remove (take) and demote (demoteForRead) entries at
+    // arbitrary positions; the survivors must still drain oldest-first,
+    // in their original relative order.
+    WritebackBuffer wb(8);
+    for (Addr a = 0x100; a <= 0x800; a += 0x100)
+        wb.push({a, State::Modified});
+
+    bool found = false;
+    wb.take(0x300, found);  // BusReadX mid-buffer
+    EXPECT_TRUE(found);
+    wb.take(0x100, found);  // BusReadX at the head
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(wb.demoteForRead(0x500));  // BusRead mid-buffer
+    wb.push({0x900, State::Owned});        // new victim behind everyone
+
+    const Addr expect_order[] = {0x200, 0x400, 0x500, 0x600,
+                                 0x700, 0x800, 0x900};
+    ASSERT_EQ(wb.size(), 7u);
+    for (const Addr a : expect_order)
+        EXPECT_EQ(wb.pop().unitAddr, a);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(WritebackBuffer, DemoteForReadOnlyTouchesModified)
+{
+    WritebackBuffer wb(4);
+    wb.push({0x100, State::Modified});
+    wb.push({0x200, State::Owned});
+
+    EXPECT_TRUE(wb.demoteForRead(0x100));
+    EXPECT_TRUE(wb.demoteForRead(0x200));   // Owned stays Owned
+    EXPECT_FALSE(wb.demoteForRead(0x300));  // absent
+
+    EXPECT_EQ(wb.pop().state, State::Owned);
+    EXPECT_EQ(wb.pop().state, State::Owned);
+}
+
+TEST(WritebackBuffer, SnoopCombinesHitTakeAndDemoteInOneCall)
+{
+    WritebackBuffer wb(4);
+    wb.push({0x100, State::Modified});
+    wb.push({0x200, State::Modified});
+
+    EXPECT_FALSE(wb.snoop(0x300, false));  // miss
+    EXPECT_FALSE(wb.snoop(0x300, true));
+
+    // Supplying BusRead: hit, entry stays, M demotes to O (idempotent).
+    EXPECT_TRUE(wb.snoop(0x100, false));
+    EXPECT_TRUE(wb.contains(0x100));
+    EXPECT_EQ(wb.entries().front().state, State::Owned);
+    EXPECT_TRUE(wb.snoop(0x100, false));
+    EXPECT_EQ(wb.entries().front().state, State::Owned);
+
+    // BusReadX/Upgrade: hit and ownership transfer (entry removed).
+    EXPECT_TRUE(wb.snoop(0x200, true));
+    EXPECT_FALSE(wb.contains(0x200));
+    EXPECT_EQ(wb.size(), 1u);
+}
+
+TEST(WritebackBuffer, EntriesExposeFifoView)
+{
+    WritebackBuffer wb(4);
+    wb.push({0x100, State::Modified});
+    wb.push({0x200, State::Owned});
+    ASSERT_EQ(wb.entries().size(), 2u);
+    EXPECT_EQ(wb.entries()[0].unitAddr, 0x100u);
+    EXPECT_EQ(wb.entries()[1].unitAddr, 0x200u);
+}
+
+// ---------------------------------------- L1 fast path vs slow path ----
+
+namespace
+{
+
+/** The slow-path equivalent of one accessFast() call: probe, and on a
+ *  serviceable hit touch (+ markDirty for writes). Returns whether the
+ *  access was serviced, exactly accessFast()'s contract. */
+bool
+slowAccess(L1Cache &l1, Addr addr, bool write)
+{
+    const auto res = l1.probe(addr);
+    if (!res.hit || (write && !res.writable))
+        return false;
+    l1.touch(addr);
+    if (write)
+        l1.markDirty(addr);
+    return true;
+}
+
+} // namespace
+
+TEST(L1Cache, FastPathMatchesSlowPathAcrossDirtyEvictionBoundaries)
+{
+    // Two identical caches driven by the same randomized access/fill
+    // sequence, one through accessFast(), one through the probe/touch/
+    // markDirty route. Both must agree on every return value, every
+    // victim (especially dirty ones at eviction boundaries), and the
+    // full final line state — i.e. the fast path's single associative
+    // search changes exactly the state the slow path changes.
+    L1Config cfg;
+    cfg.sizeBytes = 512;  // 2 sets x 4 ways: constant conflict pressure
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    L1Cache fast(cfg), slow(cfg);
+
+    jetty::Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        // A handful of lines per set keeps hits, permission misses and
+        // capacity misses all frequent.
+        const Addr addr = 0x1000 + rng.below(12) * 32;
+        const bool write = rng.chance(0.45);
+
+        const bool f = fast.accessFast(addr, write);
+        const bool s = slowAccess(slow, addr, write);
+        ASSERT_EQ(f, s) << "iteration " << i;
+
+        if (!f && !fast.probe(addr).hit) {
+            // Genuine miss: fill both with the same permission. This is
+            // where dirty victims cross the eviction boundary.
+            const bool writable = rng.chance(0.6);
+            L1Victim vf, vs;
+            fast.fill(addr, writable, vf);
+            slow.fill(addr, writable, vs);
+            if (write && writable) {
+                fast.markDirty(addr);
+                slow.markDirty(addr);
+            }
+            ASSERT_EQ(vf.valid, vs.valid) << i;
+            ASSERT_EQ(vf.dirty, vs.dirty) << i;
+            ASSERT_EQ(vf.lineAddr, vs.lineAddr) << i;
+        }
+
+        if (i % 1000 == 0) {
+            const auto lf = fast.validLineInfo();
+            const auto ls = slow.validLineInfo();
+            ASSERT_EQ(lf.size(), ls.size()) << i;
+            for (std::size_t k = 0; k < lf.size(); ++k) {
+                ASSERT_EQ(lf[k].lineAddr, ls[k].lineAddr) << i;
+                ASSERT_EQ(lf[k].writable, ls[k].writable) << i;
+                ASSERT_EQ(lf[k].dirty, ls[k].dirty) << i;
+            }
+        }
+    }
+    EXPECT_EQ(fast.validLines(), slow.validLines());
+}
+
+TEST(L1Cache, FastPathRefusalLeavesCacheUntouched)
+{
+    // A refused fast access (miss, or write without permission) must not
+    // perturb LRU: after the refusal the replacement decision is the
+    // same as if the call never happened.
+    L1Config cfg;
+    cfg.sizeBytes = 1024;
+    cfg.assoc = 2;  // 16 sets x 2 ways
+    cfg.blockBytes = 32;
+    const Addr set_stride = 16 * 32;
+
+    L1Cache l1(cfg);
+    L1Victim victim;
+    l1.fill(0x0, false, victim);
+    l1.fill(set_stride, true, victim);
+    l1.touch(0x0);  // 0x0 is MRU, set_stride is LRU
+
+    // Refused accesses: a write to the non-writable MRU line and a read
+    // of an absent line. Neither may reorder the set.
+    EXPECT_FALSE(l1.accessFast(0x0, true));
+    EXPECT_FALSE(l1.accessFast(3 * set_stride, false));
+
+    l1.fill(2 * set_stride, false, victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.lineAddr, set_stride);  // still the LRU
+    EXPECT_TRUE(l1.probe(0x0).hit);
 }

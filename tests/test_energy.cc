@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "energy/accountant.hh"
 #include "energy/analytical.hh"
 #include "energy/cache_energy.hh"
@@ -314,6 +316,108 @@ TEST(Accountant, TrafficMerge)
     EXPECT_EQ(a.localTagProbes, 2000u);
     EXPECT_EQ(a.snoopTagProbes, 4000u);
     EXPECT_EQ(a.allTagAccesses(), 2 * (1000u + 300u + 2000u + 50u));
+}
+
+TEST(Accountant, ZeroReferenceRunIsAllZerosAndNoNan)
+{
+    // A run that retired nothing: every energy is exactly zero and the
+    // reduction percentages hit their guarded division-by-zero paths.
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const L2Traffic none{};
+    const FilterTraffic idle{};
+    for (const auto mode : {AccessMode::Serial, AccessMode::Parallel}) {
+        const auto base = acc.baseline(none, mode);
+        EXPECT_DOUBLE_EQ(base.localEnergy, 0.0);
+        EXPECT_DOUBLE_EQ(base.snoopEnergy, 0.0);
+        EXPECT_DOUBLE_EQ(base.total(), 0.0);
+        const auto with = acc.withFilter(none, mode, idle,
+                                         FilterEnergyCosts{});
+        EXPECT_DOUBLE_EQ(with.total(), 0.0);
+        EXPECT_DOUBLE_EQ(EnergyAccountant::snoopReductionPct(base, with),
+                         0.0);
+        EXPECT_DOUBLE_EQ(EnergyAccountant::totalReductionPct(base, with),
+                         0.0);
+    }
+}
+
+TEST(Accountant, FilterDisabledRunEqualsBaseline)
+{
+    // A NULL-style filter (nothing filtered, zero per-event costs) must
+    // reproduce the baseline bit-for-bit in both access modes — the
+    // accountant may not charge phantom energy for a disabled filter.
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+    const auto t = sampleTraffic();
+    FilterTraffic f;
+    f.probes = t.snoopTagProbes;  // probed, never filters
+    for (const auto mode : {AccessMode::Serial, AccessMode::Parallel}) {
+        const auto base = acc.baseline(t, mode);
+        const auto with = acc.withFilter(t, mode, f, FilterEnergyCosts{});
+        EXPECT_DOUBLE_EQ(with.localEnergy, base.localEnergy);
+        EXPECT_DOUBLE_EQ(with.snoopEnergy, base.snoopEnergy);
+        EXPECT_DOUBLE_EQ(with.filterEnergy, 0.0);
+        EXPECT_DOUBLE_EQ(EnergyAccountant::snoopReductionPct(base, with),
+                         0.0);
+        EXPECT_DOUBLE_EQ(EnergyAccountant::totalReductionPct(base, with),
+                         0.0);
+    }
+}
+
+TEST(Accountant, BillionsOfEventsAccumulateWithoutOverflow)
+{
+    // Counts far beyond 2^32: the u64 counters must merge without
+    // wrapping and the double-domain energies must stay finite and
+    // exactly linear in the counts.
+    CacheEnergyModel m{CacheGeometry{}};
+    EnergyAccountant acc(m);
+
+    L2Traffic big;
+    big.localTagProbes = 5'000'000'000ULL;
+    big.localTagUpdates = 3'000'000'000ULL;
+    big.localDataReads = 4'000'000'000ULL;
+    big.localDataWrites = 2'000'000'000ULL;
+    big.snoopTagProbes = 6'000'000'000ULL;
+    big.snoopTagUpdates = 1'500'000'000ULL;
+    big.snoopDataReads = 1'000'000'000ULL;
+
+    L2Traffic doubled = big;
+    doubled.merge(big);
+    EXPECT_EQ(doubled.localTagProbes, 10'000'000'000ULL);
+    EXPECT_EQ(doubled.snoopTagProbes, 12'000'000'000ULL);
+    EXPECT_EQ(doubled.allTagAccesses(),
+              2 * (5'000'000'000ULL + 3'000'000'000ULL +
+                   6'000'000'000ULL + 1'500'000'000ULL));
+
+    for (const auto mode : {AccessMode::Serial, AccessMode::Parallel}) {
+        const auto one = acc.baseline(big, mode);
+        const auto two = acc.baseline(doubled, mode);
+        EXPECT_TRUE(std::isfinite(one.total()));
+        EXPECT_GT(one.total(), 0.0);
+        EXPECT_NEAR(two.total(), 2.0 * one.total(),
+                    1e-9 * two.total());
+    }
+
+    // Filter bookkeeping at the same scale.
+    FilterTraffic f;
+    f.probes = big.snoopTagProbes;
+    f.filtered = 3'000'000'000ULL;
+    f.snoopAllocs = 2'000'000'000ULL;
+    f.fillUpdates = 2'500'000'000ULL;
+    f.evictUpdates = 2'400'000'000ULL;
+    FilterEnergyCosts costs;
+    costs.probe = 1e-13;
+    costs.snoopAlloc = 2e-13;
+    costs.fillUpdate = 3e-13;
+    costs.evictUpdate = 4e-13;
+    const auto with = acc.withFilter(big, AccessMode::Serial, f, costs);
+    EXPECT_TRUE(std::isfinite(with.total()));
+    EXPECT_NEAR(with.filterEnergy,
+                6e9 * 1e-13 + 2e9 * 2e-13 + 2.5e9 * 3e-13 + 2.4e9 * 4e-13,
+                1e-12);
+    // Filtering must still strictly reduce snoop energy at this scale.
+    const auto base = acc.baseline(big, AccessMode::Serial);
+    EXPECT_LT(with.snoopEnergy, base.snoopEnergy);
 }
 
 TEST(XeonTable, MatchesPaperRatios)

@@ -113,6 +113,50 @@ TEST(FilterRegistry, MalformedSpecsStillRejected)
     }
 }
 
+TEST(FilterRegistry, FailureDiagnosisNamesTokenAndFamily)
+{
+    const auto &registry = FilterRegistry::instance();
+
+    // A registered family with bad parameters: named, with its grammar
+    // and canonical example.
+    std::string msg = registry.describeFailure("EJ-32");
+    EXPECT_NE(msg.find("malformed EJ spec 'EJ-32'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("EJ-<sets>x<assoc>"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("EJ-32x4"), std::string::npos) << msg;
+
+    // Case-insensitive family spelling still resolves to the family.
+    msg = registry.describeFailure("vej-32x4");
+    EXPECT_NE(msg.find("malformed VEJ spec"), std::string::npos) << msg;
+
+    // An unknown family: the offending token plus the valid list.
+    msg = registry.describeFailure("ZZ-1x2");
+    EXPECT_NE(msg.find("unknown filter family 'ZZ'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("valid families: EJ, HJ, IJ, NULL, RF, VEJ"),
+              std::string::npos)
+        << msg;
+
+    // Empty input.
+    msg = registry.describeFailure("   ");
+    EXPECT_NE(msg.find("empty filter spec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid families"), std::string::npos) << msg;
+}
+
+TEST(FilterRegistryDeathTest, MakeFilterNamesOffendingToken)
+{
+    const filter::AddressMap amap;
+    EXPECT_EXIT(filter::makeFilter("EJ-32", amap),
+                ::testing::ExitedWithCode(1),
+                "malformed EJ spec 'EJ-32'.*EJ-<sets>x<assoc>");
+    EXPECT_EXIT(filter::makeFilter("ZZ-1x2", amap),
+                ::testing::ExitedWithCode(1),
+                "unknown filter family 'ZZ'.*valid families");
+    EXPECT_EXIT(filter::makeFilter("HJ(IJ-10x4x7)", amap),
+                ::testing::ExitedWithCode(1),
+                "malformed HJ spec.*HJ\\(<include-spec>,<exclude-spec>\\)");
+}
+
 TEST(FilterRegistryDeathTest, DuplicateFamilyIsFatal)
 {
     filter::FilterFamily dup;

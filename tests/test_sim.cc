@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/observer.hh"
 #include "sim/smp_system.hh"
 #include "trace/apps.hh"
 #include "trace/synthetic.hh"
@@ -328,9 +329,31 @@ expectIdenticalStats(const SimStats &a, const SimStats &b)
         EXPECT_EQ(a.remoteHits.count(bucket), b.remoteHits.count(bucket));
 }
 
+/** Counts every observer callback (and checks event sanity). */
+struct CountingObserver : public SimObserver
+{
+    std::uint64_t refs = 0, snoops = 0, txns = 0;
+
+    void onReference(ProcId, AccessType, Addr) override { ++refs; }
+
+    void
+    onSnoop(const SnoopEvent &ev) override
+    {
+        EXPECT_NE(ev.requester, ev.target);
+        ++snoops;
+    }
+
+    void
+    onBusTransaction(ProcId, coherence::BusOp, Addr, unsigned) override
+    {
+        ++txns;
+    }
+};
+
 /** Run an lu-derived workload under the given delivery batch size. */
 SimStats
-runWithBatch(unsigned batchRefs, bool stepDriven = false)
+runWithBatch(unsigned batchRefs, bool stepDriven = false,
+             SimObserver *observer = nullptr)
 {
     SmpConfig cfg;
     cfg.nprocs = 4;
@@ -345,6 +368,7 @@ runWithBatch(unsigned batchRefs, bool stepDriven = false)
     const trace::Workload workload(trace::appByName("lu"), cfg.nprocs,
                                    0.02);
     SmpSystem sys(cfg);
+    sys.setObserver(observer);
     std::vector<trace::TraceSourcePtr> sources;
     for (unsigned p = 0; p < cfg.nprocs; ++p)
         sources.push_back(workload.makeSource(p));
@@ -376,6 +400,51 @@ TEST(SmpSystem, StepDrivenAndRunAreBitIdentical)
     // with the inlined L1 fast path) must simulate identically.
     expectIdenticalStats(runWithBatch(64, /*stepDriven=*/true),
                          runWithBatch(64, /*stepDriven=*/false));
+}
+
+TEST(SmpSystem, ObserverIsBehaviourNeutralAndComplete)
+{
+    // Attaching an observer reroutes run() through the instrumented
+    // per-reference path; the simulated numbers must not move by a bit,
+    // and the observer must see every reference, every per-target snoop
+    // and every transaction.
+    const SimStats plain = runWithBatch(64);
+    CountingObserver counting;
+    const SimStats observed = runWithBatch(64, /*stepDriven=*/false,
+                                           &counting);
+    expectIdenticalStats(plain, observed);
+
+    const auto agg = observed.aggregate();
+    EXPECT_EQ(counting.refs, agg.accesses);
+    EXPECT_EQ(counting.snoops, agg.snoopTagProbes);
+    EXPECT_EQ(counting.txns, observed.snoopTransactions);
+}
+
+TEST(SmpSystem, WritebackEntrySnoopedByReadIsDemotedToOwned)
+{
+    // Regression for the reclaim-after-remote-read coherence bug: the
+    // WB's Modified victim supplies a remote BusRead, so the owner's
+    // later reclaim must come back Owned and the subsequent write must
+    // go through an invalidating upgrade.
+    SmpSystem sys(smallConfig());
+    sys.processorAccess(0, AccessType::Write, kA);        // p0: M
+    sys.processorAccess(0, AccessType::Read, kA + 8192);  // kA -> WB of 0
+    ASSERT_TRUE(sys.wb(0).contains(kA));
+
+    sys.processorAccess(1, AccessType::Read, kA);  // WB supplies
+    ASSERT_EQ(sys.wb(0).entries().front().unitAddr, kA);
+    EXPECT_EQ(sys.wb(0).entries().front().state, State::Owned);
+    EXPECT_EQ(sys.l2(1).probe(kA).state, State::Shared);
+
+    sys.processorAccess(0, AccessType::Read, kA);  // reclaim
+    EXPECT_EQ(sys.stats().procs[0].wbReclaims, 1u);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Owned);
+
+    const auto upgrades_before = sys.stats().procs[0].busUpgrades;
+    sys.processorAccess(0, AccessType::Write, kA);
+    EXPECT_EQ(sys.stats().procs[0].busUpgrades, upgrades_before + 1);
+    EXPECT_EQ(sys.l2(0).probe(kA).state, State::Modified);
+    EXPECT_FALSE(sys.l2(1).probe(kA).unitValid);  // reader invalidated
 }
 
 TEST(SmpSystemDeathTest, RejectsBadConfigs)

@@ -29,6 +29,15 @@
  *                     [--repeat K] [--json FILE]
  *                     (sustained refs/sec of the batched delivery
  *                     pipeline; best of K cold runs, optional JSON)
+ *   jetty_cli fuzz    [--seed N] [--rounds N] [--refs N] [--procs N]
+ *                     [--filters SPEC[,...]] [--seconds S] [--smoke]
+ *                     [--audit-every N] [--out FILE] [--repro FILE]
+ *                     (coverage-guided differential fuzzing: online
+ *                     invariant checkers + golden-model and batched
+ *                     state equivalence; failures are shrunk and
+ *                     written as a JTTRACE2 repro + .txt header.
+ *                     --repro replays a previously written repro.
+ *                     Exit 0 clean, 2 on a caught violation)
  */
 
 #include <algorithm>
@@ -53,6 +62,7 @@
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/table.hh"
+#include "verify/fuzzer.hh"
 
 using namespace jetty;
 
@@ -69,7 +79,7 @@ parseOptions(int argc, char **argv, int first)
         if (!startsWith(key, "--"))
             fatal("expected an option, got '" + key + "'");
         key = key.substr(2);
-        if (key == "no-subblock") {
+        if (key == "no-subblock" || key == "smoke") {
             opts[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -129,7 +139,7 @@ filterList(const std::map<std::string, std::string> &opts)
     }
     for (const auto &s : specs) {
         if (!filter::isValidFilterSpec(s))
-            fatal("bad filter spec '" + s + "'");
+            fatal(filter::FilterRegistry::instance().describeFailure(s));
     }
     return specs;
 }
@@ -596,6 +606,136 @@ cmdBench(const std::map<std::string, std::string> &opts)
     return 0;
 }
 
+/**
+ * Coverage-guided differential fuzzing (verify/fuzzer.hh): generate
+ * adversarial traces, check every online invariant plus golden-model and
+ * batched-path state equivalence, shrink and persist any failure.
+ */
+int
+cmdFuzz(const std::map<std::string, std::string> &opts)
+{
+    verify::FuzzConfig cfg;
+
+    // --smoke first: it sets CI-sized defaults that any explicit option
+    // below still overrides.
+    if (opts.count("smoke")) {
+        cfg.rounds = 64;
+        cfg.refsPerProc = 2048;
+        cfg.timeBudgetSeconds = 20.0;
+    }
+
+    if (opts.count("seed")) {
+        char *end = nullptr;
+        cfg.seed = static_cast<std::uint64_t>(
+            std::strtoull(opts.at("seed").c_str(), &end, 0));
+        if (end == opts.at("seed").c_str() || *end != '\0')
+            fatal("fuzz --seed needs a number, got '" + opts.at("seed") +
+                  "'");
+    }
+    if (opts.count("rounds")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("rounds"), v) || v < 1)
+            fatal("fuzz --rounds needs a count >= 1");
+        cfg.rounds = v;
+    }
+    if (opts.count("refs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("refs"), v) || v < 1)
+            fatal("fuzz --refs needs a count >= 1");
+        cfg.refsPerProc = v;
+    }
+    if (opts.count("procs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("procs"), v) || v < 2)
+            fatal("fuzz --procs needs a count >= 2");
+        cfg.system.nprocs = v;
+    }
+    if (opts.count("filters"))
+        cfg.system.filterSpecs = filterList(opts);
+    if (opts.count("seconds")) {
+        char *end = nullptr;
+        const double v = std::strtod(opts.at("seconds").c_str(), &end);
+        if (end == opts.at("seconds").c_str() || *end != '\0' || v < 0)
+            fatal("fuzz --seconds needs a non-negative number, got '" +
+                  opts.at("seconds") + "'");
+        cfg.timeBudgetSeconds = v;
+    }
+    if (opts.count("audit-every")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("audit-every"), v))
+            fatal("fuzz --audit-every needs a count");
+        cfg.auditEvery = v;
+    }
+
+    if (opts.count("repro")) {
+        // Replay a persisted repro through the full differential check,
+        // on the machine its sidecar header recorded — not the default
+        // one — so a failure caught under custom filters or geometry
+        // cannot falsely replay "clean". Explicit --filters overrides.
+        const auto traces = verify::readReproTraces(opts.at("repro"));
+        if (traces.size() < 2) {
+            fatal("fuzz --repro: '" + opts.at("repro") + "' holds " +
+                  std::to_string(traces.size()) +
+                  " stream(s); a repro needs one per processor (>= 2)");
+        }
+        if (opts.count("procs") &&
+            cfg.system.nprocs != traces.size()) {
+            fatal("fuzz --repro: --procs " +
+                  std::to_string(cfg.system.nprocs) +
+                  " conflicts with the repro's " +
+                  std::to_string(traces.size()) + " streams");
+        }
+        if (!verify::readReproConfig(opts.at("repro"), cfg.system)) {
+            warn("no complete sidecar " + opts.at("repro") +
+                 ".txt; replaying under the default configuration");
+        }
+        if (opts.count("filters"))
+            cfg.system.filterSpecs = filterList(opts);
+        cfg.system.nprocs = static_cast<unsigned>(traces.size());
+        const std::string failure = verify::TraceFuzzer::checkOnce(
+            cfg.system, traces, cfg.auditEvery, true, true, nullptr);
+        if (failure.empty()) {
+            std::printf("repro %s: clean (%zu streams)\n",
+                        opts.at("repro").c_str(), traces.size());
+            return 0;
+        }
+        std::printf("repro %s reproduces:\n  %s\n",
+                    opts.at("repro").c_str(), failure.c_str());
+        return 2;
+    }
+
+    verify::TraceFuzzer fuzzer(cfg);
+    const auto result = fuzzer.run();
+
+    std::printf("fuzz: %u rounds, %.2fM refs, coverage %zu/%zu cells "
+                "(seed %llu, %u procs, %zu filters)\n",
+                result.roundsRun, result.totalRefs / 1e6,
+                result.coverage.cellsCovered(),
+                result.coverage.cellsTracked(),
+                static_cast<unsigned long long>(result.seed),
+                cfg.system.nprocs, cfg.system.filterSpecs.size());
+
+    if (!result.failed) {
+        std::printf("fuzz: no invariant violations, golden and batched "
+                    "states bit-exact\n");
+        return 0;
+    }
+
+    std::printf("fuzz: FAILURE in round %u (round seed %llu)\n"
+                "  %s: %s\n"
+                "  shrunk to %llu records\n",
+                result.failingRound,
+                static_cast<unsigned long long>(result.roundSeed),
+                result.invariant.c_str(), result.detail.c_str(),
+                static_cast<unsigned long long>(result.records()));
+    const std::string out =
+        opts.count("out") ? opts.at("out") : std::string("fuzz-repro.jtt");
+    verify::writeRepro(out, result, cfg.system);
+    std::printf("  repro written to %s (+ %s.txt)\n", out.c_str(),
+                out.c_str());
+    return 2;
+}
+
 } // namespace
 
 int
@@ -603,7 +743,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
-                             "capture|trace|replay|bench [options]\n");
+                             "capture|trace|replay|bench|fuzz [options]\n");
         return 1;
     }
     const std::string cmd = argv[1];
@@ -624,5 +764,7 @@ main(int argc, char **argv)
         return cmdReplay(opts);
     if (cmd == "bench")
         return cmdBench(opts);
+    if (cmd == "fuzz")
+        return cmdFuzz(opts);
     fatal("unknown command '" + cmd + "'");
 }
