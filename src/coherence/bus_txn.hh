@@ -15,12 +15,18 @@
 namespace jetty::coherence
 {
 
-/** One transaction placed on the shared bus by a requester. */
+/** One transaction placed on the snoop interconnect by a requester. */
 struct BusTransaction
 {
     BusOp op = BusOp::BusRead;
     Addr unitAddr = 0;     //!< coherence-unit-aligned address
     ProcId requester = 0;  //!< issuing processor
+
+    /** Logical snoop bus the transaction was routed to: with an
+     *  address-interleaved split interconnect every transaction for one
+     *  unit lands on the same bus (sim/interconnect.hh). 0 on the
+     *  classic single shared bus. */
+    unsigned busId = 0;
 };
 
 /** Aggregate view of all snoop responses to one transaction. */

@@ -17,7 +17,8 @@ ExcludeJetty::ExcludeJetty(const ExcludeJettyConfig &cfg,
     if (amap.physAddrBits <= amap.blockOffsetBits + setBits_)
         fatal("ExcludeJetty: address space too small");
     tagBits_ = amap.physAddrBits - amap.blockOffsetBits - setBits_;
-    sets_.assign(cfg.sets, std::vector<Entry>(cfg.assoc));
+    entries_.assign(static_cast<std::size_t>(cfg.sets) * cfg.assoc,
+                    Entry{});
 }
 
 std::uint64_t
@@ -35,9 +36,10 @@ ExcludeJetty::tagOf(Addr unitAddr) const
 bool
 ExcludeJetty::probe(Addr unitAddr)
 {
-    auto &set = sets_[setIndex(unitAddr)];
+    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
     const Addr tag = tagOf(unitAddr);
-    for (auto &e : set) {
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = set[w];
         if (e.present && e.tag == tag) {
             e.lastUse = ++useClock_;
             return true;
@@ -54,10 +56,11 @@ ExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
     if (blockPresent)
         return;
 
-    auto &set = sets_[setIndex(unitAddr)];
+    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
     const Addr tag = tagOf(unitAddr);
 
-    for (auto &e : set) {
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = set[w];
         if (e.present && e.tag == tag) {
             e.lastUse = ++useClock_;
             return;
@@ -66,17 +69,17 @@ ExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
 
     // Allocate: prefer a not-present way, else LRU.
     Entry *victim = nullptr;
-    for (auto &e : set) {
-        if (!e.present) {
-            victim = &e;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!set[w].present) {
+            victim = &set[w];
             break;
         }
     }
     if (!victim) {
-        victim = &set.front();
-        for (auto &e : set) {
-            if (e.lastUse < victim->lastUse)
-                victim = &e;
+        victim = set;
+        for (unsigned w = 1; w < cfg_.assoc; ++w) {
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
         }
     }
     victim->tag = tag;
@@ -87,9 +90,10 @@ ExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
 void
 ExcludeJetty::onFill(Addr unitAddr)
 {
-    auto &set = sets_[setIndex(unitAddr)];
+    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
     const Addr tag = tagOf(unitAddr);
-    for (auto &e : set) {
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = set[w];
         if (e.present && e.tag == tag) {
             // Part of the block is now cached: the guarantee is void.
             e.present = false;
@@ -99,11 +103,24 @@ ExcludeJetty::onFill(Addr unitAddr)
 }
 
 void
+ExcludeJetty::applyBatch(const BankEvent *evs, std::size_t n,
+                         FilterStats &st)
+{
+    // The shared protocol with qualified (direct, inlinable) calls.
+    replayBankEvents(
+        evs, n, st, [this](Addr a) { return ExcludeJetty::probe(a); },
+        [this](Addr a, bool blockPresent) {
+            ExcludeJetty::onSnoopMiss(a, blockPresent);
+        },
+        [this](Addr a) { ExcludeJetty::onFill(a); },
+        [](Addr) {});  // the EJ ignores evictions
+}
+
+void
 ExcludeJetty::clear()
 {
-    for (auto &set : sets_)
-        for (auto &e : set)
-            e = Entry{};
+    for (auto &e : entries_)
+        e = Entry{};
     useClock_ = 0;
 }
 

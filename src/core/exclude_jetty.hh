@@ -46,6 +46,11 @@ class ExcludeJetty : public SnoopFilter
     void onEvict(Addr) override {}
     void clear() override;
 
+    /** Devirtualized batch replay for the deferred bank path: one call
+     *  per event run, direct (inlinable) probe/alloc/fill bodies. */
+    void applyBatch(const BankEvent *evs, std::size_t n,
+                    FilterStats &st) override;
+
     StorageBreakdown storage() const override;
     energy::FilterEnergyCosts
     energyCosts(const energy::Technology &tech) const override;
@@ -69,7 +74,9 @@ class ExcludeJetty : public SnoopFilter
     AddressMap amap_;
     unsigned setBits_;
     unsigned tagBits_;
-    std::vector<std::vector<Entry>> sets_;  //!< [set][way]
+    /** Flat [set * assoc + way] layout: one contiguous allocation, so a
+     *  probe touches a single cache-line-friendly run of ways. */
+    std::vector<Entry> entries_;
     std::uint64_t useClock_ = 0;
 };
 

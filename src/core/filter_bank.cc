@@ -6,22 +6,12 @@
 namespace jetty::filter
 {
 
-void
-FilterStats::merge(const FilterStats &o)
-{
-    probes += o.probes;
-    filtered += o.filtered;
-    wouldMiss += o.wouldMiss;
-    filteredWouldMiss += o.filteredWouldMiss;
-    snoopAllocs += o.snoopAllocs;
-    fillUpdates += o.fillUpdates;
-    evictUpdates += o.evictUpdates;
-    safetyViolations += o.safetyViolations;
-}
-
 FilterBank::FilterBank(const std::vector<std::string> &specs,
-                       const AddressMap &amap, bool checkSafety)
-    : checkSafety_(checkSafety)
+                       const AddressMap &amap, bool checkSafety,
+                       unsigned snoopBuses)
+    : amap_(amap), checkSafety_(checkSafety),
+      snoopBuses_(snoopBuses >= 1 ? snoopBuses : 1),
+      busQueues_(snoopBuses_)
 {
     filters_.reserve(specs.size());
     for (const auto &spec : specs)
@@ -32,6 +22,11 @@ FilterBank::FilterBank(const std::vector<std::string> &specs,
 void
 FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
 {
+    if (deferred_) {
+        deferSnoop(homeBusOf(unitAddr), unitAddr, unitInL2, blockInL2);
+        return;
+    }
+
     // Hot path: one call per filter per snoop per remote node. The
     // ground truth is identical for every filter, so the branch on it is
     // hoisted out of the loop; the counters each arm bumps are exactly
@@ -81,8 +76,91 @@ FilterBank::observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2)
 }
 
 void
+FilterBank::setProbeObserver(FilterProbeObserver *obs, ProcId owner)
+{
+    // Observed banks observe immediately and in stream order; entering
+    // (or being in) deferred mode with an observer attached would starve
+    // it. SmpSystem routes observed runs through the immediate path, so
+    // both of these are caller bugs, caught loudly.
+    if (obs && deferred_)
+        panic("FilterBank: cannot attach a probe observer while deferred");
+    probeObserver_ = obs;
+    owner_ = owner;
+}
+
+void
+FilterBank::beginDeferred()
+{
+    if (probeObserver_)
+        panic("FilterBank: cannot defer while a probe observer is attached");
+    deferred_ = true;
+}
+
+void
+FilterBank::endDeferred()
+{
+    flushDeferred();
+    deferred_ = false;
+}
+
+void
+FilterBank::flushDeferred()
+{
+    // Bus-major replay: each filter sees bus 0's events first, then bus
+    // 1's, each queue in capture order — the deterministic cross-bus
+    // order the split-bus contract documents (DESIGN.md); with one bus
+    // this is the original total order. The filter loop is outermost so
+    // one filter's arrays stay hot across every bus queue of the flush
+    // (filters are independent, so this ordering is result-identical to
+    // flushing queue by queue).
+    bool any = false;
+    for (const auto &queue : busQueues_) {
+        if (!queue.empty()) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        FilterStats &st = stats_[i];
+        const std::uint64_t violations_before = st.safetyViolations;
+        for (const auto &queue : busQueues_) {
+            if (!queue.empty())
+                filters_[i]->applyBatch(queue.data(), queue.size(), st);
+        }
+        if (checkSafety_ && st.safetyViolations != violations_before) {
+            panic("JETTY safety violation: " + filters_[i]->name() +
+                  " filtered a snoop to a cached unit");
+        }
+    }
+    for (auto &queue : busQueues_)
+        queue.clear();
+}
+
+void
+FilterBank::observeSnoopBatch(const BankEvent *evs, std::size_t n)
+{
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        FilterStats &st = stats_[i];
+        const std::uint64_t violations_before = st.safetyViolations;
+        filters_[i]->applyBatch(evs, n, st);
+        if (checkSafety_ && st.safetyViolations != violations_before) {
+            panic("JETTY safety violation: " + filters_[i]->name() +
+                  " filtered a snoop to a cached unit");
+        }
+    }
+}
+
+void
 FilterBank::unitFilled(Addr unitAddr)
 {
+    if (deferred_) {
+        busQueues_[homeBusOf(unitAddr)].push_back(
+            {unitAddr, BankEvent::Kind::Fill, false, false});
+        return;
+    }
     for (std::size_t i = 0; i < filters_.size(); ++i) {
         filters_[i]->onFill(unitAddr);
         ++stats_[i].fillUpdates;
@@ -92,6 +170,11 @@ FilterBank::unitFilled(Addr unitAddr)
 void
 FilterBank::unitEvicted(Addr unitAddr)
 {
+    if (deferred_) {
+        busQueues_[homeBusOf(unitAddr)].push_back(
+            {unitAddr, BankEvent::Kind::Evict, false, false});
+        return;
+    }
     for (std::size_t i = 0; i < filters_.size(); ++i) {
         filters_[i]->onEvict(unitAddr);
         ++stats_[i].evictUpdates;

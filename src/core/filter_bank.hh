@@ -26,45 +26,6 @@
 namespace jetty::filter
 {
 
-/** Coverage statistics of one filter on one processor. */
-struct FilterStats
-{
-    std::uint64_t probes = 0;          //!< snoops presented to the filter
-    std::uint64_t filtered = 0;        //!< snoops eliminated
-    std::uint64_t wouldMiss = 0;       //!< snoops that miss in the L2
-    std::uint64_t filteredWouldMiss = 0;  //!< filtered AND a true miss
-    std::uint64_t snoopAllocs = 0;     //!< onSnoopMiss deliveries
-    std::uint64_t fillUpdates = 0;     //!< L2 fill events observed
-    std::uint64_t evictUpdates = 0;    //!< L2 evict events observed
-    std::uint64_t safetyViolations = 0;  //!< must stay zero
-
-    /** Snoop-miss coverage (Section 4.3's key metric). */
-    double
-    coverage() const
-    {
-        return wouldMiss == 0
-                   ? 0.0
-                   : static_cast<double>(filteredWouldMiss) /
-                         static_cast<double>(wouldMiss);
-    }
-
-    /** Convert to the accountant's traffic view. */
-    energy::FilterTraffic
-    traffic() const
-    {
-        energy::FilterTraffic t;
-        t.probes = probes;
-        t.filtered = filtered;
-        t.snoopAllocs = snoopAllocs;
-        t.fillUpdates = fillUpdates;
-        t.evictUpdates = evictUpdates;
-        return t;
-    }
-
-    /** Merge another processor's stats for the same configuration. */
-    void merge(const FilterStats &o);
-};
-
 /**
  * One filter's verdict on one snoop, with the ground truth it was judged
  * against. The verification subsystem's no-false-negative checker hangs
@@ -98,9 +59,13 @@ class FilterBank : public mem::CacheEventListener
      * @param checkSafety verify the "never filter a cached unit" guarantee
      *                    against ground truth (panics on violation when
      *                    true; counts violations either way).
+     * @param snoopBuses  logical snoop buses of the interconnect the
+     *                    bank's node sits on: deferred events are queued
+     *                    (and later replayed) per home bus. 1 keeps the
+     *                    classic single-queue behaviour.
      */
     FilterBank(const std::vector<std::string> &specs, const AddressMap &amap,
-               bool checkSafety = true);
+               bool checkSafety = true, unsigned snoopBuses = 1);
 
     /**
      * Present one snoop to every filter.
@@ -110,6 +75,53 @@ class FilterBank : public mem::CacheEventListener
      *                   (the tag probe reports this for free).
      */
     void observeSnoop(Addr unitAddr, bool unitInL2, bool blockInL2);
+
+    // ---- The deferred (batched) observation path --------------------
+    //
+    // The simulation hot loop defers filter work: snoops and the L2's
+    // fill/evict notifications are queued per home snoop bus (the same
+    // block interleave the interconnect routes transactions by), and a
+    // chunk-end flush replays every queue through each filter in one
+    // batched pass. Per bus the replay order is exactly the capture
+    // order, and all events of one L2 block share a bus, so every
+    // block-granular (EJ/VEJ entries, IJ slices) or counting (IJ, RF)
+    // structure sees a per-structure totally ordered stream — the
+    // no-false-negative guarantee survives deferral for any bus count,
+    // and with one bus the replay is the original total order, making
+    // the deferred path bit-identical to immediate observation.
+
+    /** Enter deferred mode: observeSnoop and the L2 listener hooks queue
+     *  instead of applying. Requires no probe observer (the instrumented
+     *  paths stay immediate). */
+    void beginDeferred();
+
+    /** Replay all queued events (bus-major) and leave deferred mode. */
+    void endDeferred();
+
+    /** Replay all queued events bus-major, staying deferred. Panics on a
+     *  safety violation when the bank checks safety. */
+    void flushDeferred();
+
+    /** In deferred mode, queue one snoop with its captured ground truth.
+     *  @p busId must be the unit's home bus. */
+    void
+    deferSnoop(unsigned busId, Addr unitAddr, bool unitInL2, bool blockInL2)
+    {
+        busQueues_[busId].push_back(
+            {unitAddr, BankEvent::Kind::Snoop, unitInL2, blockInL2});
+    }
+
+    /** Whether the bank is currently queueing. */
+    bool deferred() const { return deferred_; }
+
+    /**
+     * Replay one pre-grouped event run through every filter via the
+     * per-filter batched probe path (SnoopFilter::applyBatch). The
+     * events must share a home bus (or the bank must have one bus);
+     * flushDeferred() is the usual caller, but the verification suite
+     * replays hand-built runs directly.
+     */
+    void observeSnoopBatch(const BankEvent *evs, std::size_t n);
 
     // CacheEventListener
     void unitFilled(Addr unitAddr) override;
@@ -133,19 +145,29 @@ class FilterBank : public mem::CacheEventListener
      * the emitted events with the node this bank belongs to. Zero cost
      * when unset: observeSnoop hoists one null check out of its loops.
      */
-    void
-    setProbeObserver(FilterProbeObserver *obs, ProcId owner)
-    {
-        probeObserver_ = obs;
-        owner_ = owner;
-    }
+    void setProbeObserver(FilterProbeObserver *obs, ProcId owner);
 
   private:
     std::vector<SnoopFilterPtr> filters_;
     std::vector<FilterStats> stats_;
+    AddressMap amap_;
     bool checkSafety_;
     FilterProbeObserver *probeObserver_ = nullptr;
     ProcId owner_ = 0;
+
+    /** Home bus of @p unitAddr — must agree with Interconnect::busOf
+     *  (the one other statement of the interleave in sim/), which the
+     *  CheckerSuite's bus-routing invariant cross-checks online. */
+    unsigned
+    homeBusOf(Addr unitAddr) const
+    {
+        return static_cast<unsigned>(
+            (unitAddr >> amap_.blockOffsetBits) % snoopBuses_);
+    }
+
+    bool deferred_ = false;
+    unsigned snoopBuses_ = 1;
+    std::vector<std::vector<BankEvent>> busQueues_;  //!< [bus] -> events
 };
 
 } // namespace jetty::filter

@@ -1,5 +1,7 @@
 #include "core/hybrid_jetty.hh"
 
+#include "core/exclude_jetty.hh"
+#include "core/include_jetty.hh"
 #include "util/logging.hh"
 
 namespace jetty::filter
@@ -11,6 +13,38 @@ HybridJetty::HybridJetty(SnoopFilterPtr includePart,
 {
     if (!include_ || !exclude_)
         fatal("HybridJetty: both components are required");
+    ijTyped_ = dynamic_cast<IncludeJetty *>(include_.get());
+    ejTyped_ = dynamic_cast<ExcludeJetty *>(exclude_.get());
+}
+
+void
+HybridJetty::applyBatch(const BankEvent *evs, std::size_t n, FilterStats &st)
+{
+    if (!ijTyped_ || !ejTyped_) {
+        SnoopFilter::applyBatch(evs, n, st);
+        return;
+    }
+    // The canonical IJ+EJ hybrid under the shared protocol, with both
+    // components called directly (qualified: no virtual dispatch).
+    replayBankEvents(
+        evs, n, st,
+        [this](Addr a) {
+            // Both components are probed in parallel in hardware, so
+            // both are evaluated (no short-circuit), as in probe().
+            const bool ij = ijTyped_->IncludeJetty::probe(a);
+            const bool ej = ejTyped_->ExcludeJetty::probe(a);
+            return ij || ej;
+        },
+        [this](Addr a, bool blockPresent) {
+            ejTyped_->ExcludeJetty::onSnoopMiss(a, blockPresent);
+        },
+        [this](Addr a) {
+            ijTyped_->IncludeJetty::onFill(a);
+            ejTyped_->ExcludeJetty::onFill(a);
+        },
+        [this](Addr a) {
+            ijTyped_->IncludeJetty::onEvict(a);  // the EJ ignores evicts
+        });
 }
 
 bool

@@ -20,9 +20,9 @@ IncludeJetty::IncludeJetty(const IncludeJettyConfig &cfg,
     // Pessimistic sizing: a single entry may match every cached unit
     // (Section 3.2 makes the same worst-case assumption).
     counterBits_ = ceilLog2(amap.l2CapacityUnits + 1);
-    counts_.assign(cfg.arrays,
-                   std::vector<std::uint32_t>(std::uint64_t{1}
-                                              << cfg.entryBits, 0));
+    counts_.assign(static_cast<std::size_t>(cfg.arrays)
+                       << cfg.entryBits, 0);
+    pbits_.assign((counts_.size() + 63) / 64, 0);
 }
 
 std::uint64_t
@@ -36,7 +36,8 @@ bool
 IncludeJetty::probe(Addr unitAddr)
 {
     for (unsigned i = 0; i < cfg_.arrays; ++i) {
-        if (counts_[i][indexOf(unitAddr, i)] == 0)
+        const std::size_t slot = slotOf(i, indexOf(unitAddr, i));
+        if (!(pbits_[slot >> 6] & (std::uint64_t{1} << (slot & 63))))
             return true;  // one empty superset slice => guaranteed absent
     }
     return false;
@@ -45,27 +46,44 @@ IncludeJetty::probe(Addr unitAddr)
 void
 IncludeJetty::onFill(Addr unitAddr)
 {
-    for (unsigned i = 0; i < cfg_.arrays; ++i)
-        ++counts_[i][indexOf(unitAddr, i)];
+    for (unsigned i = 0; i < cfg_.arrays; ++i) {
+        const std::size_t slot = slotOf(i, indexOf(unitAddr, i));
+        if (counts_[slot]++ == 0)
+            pbits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
 }
 
 void
 IncludeJetty::onEvict(Addr unitAddr)
 {
     for (unsigned i = 0; i < cfg_.arrays; ++i) {
-        std::uint32_t &c = counts_[i][indexOf(unitAddr, i)];
+        const std::size_t slot = slotOf(i, indexOf(unitAddr, i));
+        std::uint32_t &c = counts_[slot];
         if (c == 0)
             panic("IncludeJetty: counter underflow (fill/evict imbalance)");
-        --c;
+        if (--c == 0)
+            pbits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
     }
+}
+
+void
+IncludeJetty::applyBatch(const BankEvent *evs, std::size_t n,
+                         FilterStats &st)
+{
+    // The shared protocol with direct calls; onSnoopMiss is a no-op.
+    replayBankEvents(
+        evs, n, st, [this](Addr a) { return IncludeJetty::probe(a); },
+        [](Addr, bool) {}, [this](Addr a) { IncludeJetty::onFill(a); },
+        [this](Addr a) { IncludeJetty::onEvict(a); });
 }
 
 void
 IncludeJetty::clear()
 {
-    for (auto &arr : counts_)
-        for (auto &c : arr)
-            c = 0;
+    for (auto &c : counts_)
+        c = 0;
+    for (auto &w : pbits_)
+        w = 0;
 }
 
 void

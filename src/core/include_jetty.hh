@@ -60,6 +60,10 @@ class IncludeJetty : public SnoopFilter
     void onEvict(Addr unitAddr) override;
     void clear() override;
 
+    /** Devirtualized batch replay for the deferred bank path. */
+    void applyBatch(const BankEvent *evs, std::size_t n,
+                    FilterStats &st) override;
+
     StorageBreakdown storage() const override;
     energy::FilterEnergyCosts
     energyCosts(const energy::Technology &tech) const override;
@@ -76,11 +80,25 @@ class IncludeJetty : public SnoopFilter
     void pbitArrayShape(std::uint64_t &rows, std::uint64_t &cols) const;
 
   private:
+    /** Flat slot of (array @p i, entry @p e). */
+    std::size_t
+    slotOf(unsigned i, std::uint64_t e) const
+    {
+        return (static_cast<std::size_t>(i) << cfg_.entryBits) | e;
+    }
+
     IncludeJettyConfig cfg_;
     AddressMap amap_;
     unsigned baseOffsetBits_;
     unsigned counterBits_;
-    std::vector<std::vector<std::uint32_t>> counts_;  //!< [array][entry]
+    /** Flat [array << entryBits | entry] layout: the N sub-arrays sit
+     *  contiguously, so an update walks one allocation. */
+    std::vector<std::uint32_t> counts_;
+    /** The p-bits proper, packed 64 per word and kept exactly equal to
+     *  (count != 0) — the tiny array a snoop actually reads (Figure
+     *  3b/c separates p-bit and cnt arrays the same way), so a probe
+     *  touches N bits instead of N counters. */
+    std::vector<std::uint64_t> pbits_;
 };
 
 } // namespace jetty::filter

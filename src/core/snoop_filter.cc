@@ -1,0 +1,31 @@
+#include "core/snoop_filter.hh"
+
+namespace jetty::filter
+{
+
+void
+FilterStats::merge(const FilterStats &o)
+{
+    probes += o.probes;
+    filtered += o.filtered;
+    wouldMiss += o.wouldMiss;
+    filteredWouldMiss += o.filteredWouldMiss;
+    snoopAllocs += o.snoopAllocs;
+    fillUpdates += o.fillUpdates;
+    evictUpdates += o.evictUpdates;
+    safetyViolations += o.safetyViolations;
+}
+
+void
+SnoopFilter::applyBatch(const BankEvent *evs, std::size_t n, FilterStats &st)
+{
+    // Generic batch path: the shared protocol over the virtual hooks,
+    // so a deferred replay is bit-identical to immediate observation of
+    // the same sequence for any filter type.
+    replayBankEvents(
+        evs, n, st, [this](Addr a) { return probe(a); },
+        [this](Addr a, bool blockPresent) { onSnoopMiss(a, blockPresent); },
+        [this](Addr a) { onFill(a); }, [this](Addr a) { onEvict(a); });
+}
+
+} // namespace jetty::filter

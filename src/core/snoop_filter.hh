@@ -64,6 +64,120 @@ struct StorageBreakdown
     double totalBytes() const { return totalBits() / 8.0; }
 };
 
+/** Coverage statistics of one filter on one processor. */
+struct FilterStats
+{
+    std::uint64_t probes = 0;          //!< snoops presented to the filter
+    std::uint64_t filtered = 0;        //!< snoops eliminated
+    std::uint64_t wouldMiss = 0;       //!< snoops that miss in the L2
+    std::uint64_t filteredWouldMiss = 0;  //!< filtered AND a true miss
+    std::uint64_t snoopAllocs = 0;     //!< onSnoopMiss deliveries
+    std::uint64_t fillUpdates = 0;     //!< L2 fill events observed
+    std::uint64_t evictUpdates = 0;    //!< L2 evict events observed
+    std::uint64_t safetyViolations = 0;  //!< must stay zero
+
+    /** Snoop-miss coverage (Section 4.3's key metric). */
+    double
+    coverage() const
+    {
+        return wouldMiss == 0
+                   ? 0.0
+                   : static_cast<double>(filteredWouldMiss) /
+                         static_cast<double>(wouldMiss);
+    }
+
+    /** Convert to the accountant's traffic view. */
+    energy::FilterTraffic
+    traffic() const
+    {
+        energy::FilterTraffic t;
+        t.probes = probes;
+        t.filtered = filtered;
+        t.snoopAllocs = snoopAllocs;
+        t.fillUpdates = fillUpdates;
+        t.evictUpdates = evictUpdates;
+        return t;
+    }
+
+    /** Merge another processor's stats for the same configuration. */
+    void merge(const FilterStats &o);
+};
+
+/**
+ * One deferred filter-bank event (core/filter_bank.hh). The batched
+ * simulation hot path queues these per logical snoop bus instead of
+ * walking every filter on every snoop; FilterBank::observeSnoopBatch
+ * later replays a queue through each filter in one pass. Snoop events
+ * carry their ground truth *as captured at snoop time*, so the deferred
+ * safety check judges every verdict against the true cache state.
+ */
+struct BankEvent
+{
+    /** What happened, in the order the filter must learn it. */
+    enum class Kind : std::uint8_t
+    {
+        Snoop,  //!< a snoop arrived (probe + possible allocation)
+        Fill,   //!< the local L2 gained a valid unit
+        Evict,  //!< the local L2 lost a valid unit
+    };
+
+    Addr unitAddr = 0;
+    Kind kind = Kind::Snoop;
+    bool unitInL2 = false;   //!< snoop ground truth: unit valid locally
+    bool blockInL2 = false;  //!< snoop ground truth: enclosing tag match
+};
+
+/**
+ * The single copy of the batch-replay bookkeeping protocol: which
+ * counters each arm bumps, when the safety violation is counted, and
+ * when the miss hook (exclude-side allocation) fires. Every applyBatch
+ * — the generic virtual walk and the devirtualized family overrides —
+ * instantiates this with its own probe/miss/fill/evict callables, so
+ * the protocol cannot drift between copies while the inner calls stay
+ * direct.
+ */
+template <typename ProbeFn, typename MissFn, typename FillFn,
+          typename EvictFn>
+inline void
+replayBankEvents(const BankEvent *evs, std::size_t n, FilterStats &st,
+                 ProbeFn &&probeFn, MissFn &&missFn, FillFn &&fillFn,
+                 EvictFn &&evictFn)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const BankEvent &ev = evs[i];
+        switch (ev.kind) {
+          case BankEvent::Kind::Snoop: {
+            ++st.probes;
+            const bool filtered = probeFn(ev.unitAddr);
+            if (ev.unitInL2) {
+                if (filtered) {
+                    ++st.filtered;
+                    ++st.safetyViolations;
+                }
+            } else {
+                ++st.wouldMiss;
+                if (filtered) {
+                    ++st.filtered;
+                    ++st.filteredWouldMiss;
+                } else {
+                    missFn(ev.unitAddr, ev.blockInL2);
+                    ++st.snoopAllocs;
+                }
+            }
+            break;
+          }
+          case BankEvent::Kind::Fill:
+            fillFn(ev.unitAddr);
+            ++st.fillUpdates;
+            break;
+          case BankEvent::Kind::Evict:
+            evictFn(ev.unitAddr);
+            ++st.evictUpdates;
+            break;
+        }
+    }
+}
+
 /** Abstract JETTY. */
 class SnoopFilter
 {
@@ -107,6 +221,20 @@ class SnoopFilter
 
     /** Canonical configuration name, e.g. "EJ-32x4". */
     virtual std::string name() const = 0;
+
+    /**
+     * Replay a run of deferred bank events through this filter,
+     * accumulating into @p st — the batched-probe path behind
+     * FilterBank::observeSnoopBatch. The base implementation walks the
+     * events through the virtual probe/onSnoopMiss/onFill/onEvict hooks
+     * with exactly the bookkeeping of FilterBank::observeSnoop, so every
+     * family is batch-correct by construction; hot families (EJ, IJ)
+     * override it with devirtualized inner loops. Safety violations are
+     * *counted* here (st.safetyViolations); the bank decides whether to
+     * panic.
+     */
+    virtual void applyBatch(const BankEvent *evs, std::size_t n,
+                            FilterStats &st);
 };
 
 using SnoopFilterPtr = std::unique_ptr<SnoopFilter>;

@@ -83,6 +83,19 @@ EnergyAccountant::withFilter(const L2Traffic &t, AccessMode mode,
     return out;
 }
 
+std::vector<double>
+EnergyAccountant::perBusSnoopEnergy(
+    const std::vector<std::uint64_t> &busSnoopTagProbes,
+    AccessMode mode) const
+{
+    std::vector<double> energies;
+    energies.reserve(busSnoopTagProbes.size());
+    const double per_probe = snoopProbeEnergy(mode);
+    for (const std::uint64_t probes : busSnoopTagProbes)
+        energies.push_back(static_cast<double>(probes) * per_probe);
+    return energies;
+}
+
 double
 EnergyAccountant::snoopReductionPct(const EnergyBreakdown &base,
                                     const EnergyBreakdown &with)

@@ -11,6 +11,7 @@
 #define JETTY_ENERGY_ACCOUNTANT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "energy/cache_energy.hh"
 
@@ -121,6 +122,19 @@ class EnergyAccountant
     /** Percentage reduction of total L2 energy. */
     static double totalReductionPct(const EnergyBreakdown &base,
                                     const EnergyBreakdown &with);
+
+    /**
+     * Per-bus share of a run's snoop-probe energy on a split snoop
+     * interconnect: @p busSnoopTagProbes is SimStats::busSnoopTagProbes
+     * (snoop-induced tag probes per logical bus, all nodes), and each
+     * bus is charged its probes at the per-probe snoop energy of
+     * @p mode. The sum over buses equals the probe term of baseline()'s
+     * snoopEnergy, so the split is an exact decomposition, not an
+     * estimate.
+     */
+    std::vector<double>
+    perBusSnoopEnergy(const std::vector<std::uint64_t> &busSnoopTagProbes,
+                      AccessMode mode) const;
 
   private:
     /** Snoop-side energy per unfiltered snoop tag probe. */

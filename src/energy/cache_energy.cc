@@ -1,8 +1,9 @@
 #include "energy/cache_energy.hh"
 
-#include <cassert>
+#include <string>
 
 #include "util/bits.hh"
+#include "util/logging.hh"
 
 namespace jetty::energy
 {
@@ -12,8 +13,45 @@ CacheGeometry::tagBits() const
 {
     const unsigned offset_bits = jetty::floorLog2(blockBytes);
     const unsigned index_bits = jetty::floorLog2(sets());
-    assert(physAddrBits > offset_bits + index_bits);
+    if (physAddrBits <= offset_bits + index_bits) {
+        fatal("CacheGeometry: physAddrBits (" +
+              std::to_string(physAddrBits) +
+              ") leaves no tag above " + std::to_string(offset_bits) +
+              " offset + " + std::to_string(index_bits) + " index bits");
+    }
     return physAddrBits - offset_bits - index_bits;
+}
+
+void
+CacheGeometry::validate() const
+{
+    if (blockBytes == 0 || assoc == 0 || subblocks == 0)
+        fatal("CacheGeometry: blockBytes, assoc and subblocks must be "
+              "non-zero");
+    if (blockBytes % subblocks != 0) {
+        fatal("CacheGeometry: " + std::to_string(subblocks) +
+              " subblocks do not evenly divide a " +
+              std::to_string(blockBytes) + " B block");
+    }
+    const std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(blockBytes) * assoc;
+    if (sizeBytes < set_bytes) {
+        fatal("CacheGeometry: sizeBytes (" + std::to_string(sizeBytes) +
+              ") is smaller than one set of " + std::to_string(assoc) +
+              " x " + std::to_string(blockBytes) +
+              " B blocks — zero sets");
+    }
+    if (sizeBytes % set_bytes != 0) {
+        fatal("CacheGeometry: sizeBytes (" + std::to_string(sizeBytes) +
+              ") is not a multiple of blockBytes * assoc (" +
+              std::to_string(set_bytes) + ") — the set count would "
+              "truncate");
+    }
+    if (!jetty::isPowerOfTwo(sets())) {
+        fatal("CacheGeometry: " + std::to_string(sets()) +
+              " sets is not a power of two");
+    }
+    (void)tagBits();  // fatals when the address space is too small
 }
 
 CacheEnergyModel::CacheEnergyModel(const CacheGeometry &geom,
@@ -22,8 +60,8 @@ CacheEnergyModel::CacheEnergyModel(const CacheGeometry &geom,
                                    unsigned dataMaxBanks)
     : geom_(geom)
 {
+    geom.validate();
     const std::uint64_t sets = geom.sets();
-    assert(sets > 0 && jetty::isPowerOfTwo(sets));
 
     // --- Tag array: one row per set, all ways side by side. Each way
     // stores the tag plus per-subblock coherence state.

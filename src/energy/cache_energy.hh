@@ -47,7 +47,14 @@ struct CacheGeometry
     /** Coherence state bits kept per subblock (MOESI needs 3). */
     unsigned stateBitsPerUnit = 3;
 
-    /** Number of sets. */
+    /**
+     * Number of sets. Integer division: only meaningful on a validated
+     * geometry (sizeBytes an exact power-of-two multiple of
+     * blockBytes * assoc) — validate() enforces exactly that, and
+     * CacheEnergyModel refuses unvalidated geometries, so a too-small
+     * sizeBytes fails with a descriptive error instead of silently
+     * truncating to zero sets and dividing by zero downstream.
+     */
     std::uint64_t sets() const
     {
         return sizeBytes / (static_cast<std::uint64_t>(blockBytes) * assoc);
@@ -58,6 +65,17 @@ struct CacheGeometry
 
     /** Tag bits stored per block. */
     unsigned tagBits() const;
+
+    /**
+     * Check the geometry's internal consistency, fatal()ing with a
+     * descriptive message on the first problem: zero fields, a capacity
+     * smaller than one full set (the zero-set / silent-truncation
+     * trap), a non-power-of-two set count, subblocks not dividing the
+     * block, or an address space too small for the index+offset bits.
+     * A single-set organization (sizeBytes == blockBytes * assoc) is
+     * valid. Called by CacheEnergyModel on construction.
+     */
+    void validate() const;
 };
 
 /** Per-access energies (joules) of one cache. */

@@ -38,6 +38,7 @@ SystemVariant::smpConfig() const
     }
     cfg.wbEntries = 8;
     cfg.physAddrBits = 40;
+    cfg.snoopBuses = snoopBuses;
     return cfg;
 }
 
@@ -177,6 +178,7 @@ struct RunKey
     std::uint64_t profile = 0;
     unsigned nprocs = 0;
     bool subblocked = true;
+    unsigned snoopBuses = 1;
     std::uint64_t scaleBits = 0;
 
     bool
@@ -188,6 +190,8 @@ struct RunKey
             return nprocs < o.nprocs;
         if (subblocked != o.subblocked)
             return subblocked < o.subblocked;
+        if (snoopBuses != o.snoopBuses)
+            return snoopBuses < o.snoopBuses;
         return scaleBits < o.scaleBits;
     }
 };
@@ -251,6 +255,7 @@ makeKey(const RunRequest &req, double scale)
     }
     key.nprocs = req.variant.nprocs;
     key.subblocked = req.variant.subblocked;
+    key.snoopBuses = req.variant.snoopBuses;
     // accessScale does not apply to file replays (the capture's length
     // is the capture's length), so it must not split their cache keys.
     if (req.traceFiles.empty())
@@ -276,6 +281,7 @@ fromSweep(const trace::AppProfile &app, sim::SweepResult &&sweep)
     res.memoryAllocated = sweep.memoryAllocated;
     res.totalRefs = sweep.totalRefs;
     res.simSeconds = sweep.elapsedSeconds;
+    res.refsTooFewForRate = sweep.refsTooFewForRate;
     res.stats = std::move(sweep.stats);
     res.filterNames = std::move(sweep.filterNames);
     res.filterStats = std::move(sweep.filterStats);

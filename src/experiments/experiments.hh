@@ -38,6 +38,10 @@ struct SystemVariant
     unsigned nprocs = 4;
     bool subblocked = true;  //!< 64 B blocks of two 32 B units vs 32 B units
 
+    /** Logical snoop buses of the split interconnect (the bus-count
+     *  sweep axis; 1 = the paper's single shared bus). */
+    unsigned snoopBuses = 1;
+
     /** Build the SmpConfig (filters added by the caller). */
     sim::SmpConfig smpConfig() const;
 
@@ -64,6 +68,10 @@ struct AppRunResult
      *  timing; aggregate wall-clock is the caller's to measure). */
     std::uint64_t totalRefs = 0;
     double simSeconds = 0;
+
+    /** The run was too short to rate meaningfully (see
+     *  sim::SweepResult::refsTooFewForRate); report "-" not a rate. */
+    bool refsTooFewForRate = false;
 
     /** Names of the evaluated filters, parallel to filterStats. */
     std::vector<std::string> filterNames;

@@ -23,9 +23,7 @@ L1Cache::L1Cache(const L1Config &cfg) : cfg_(cfg)
     offsetBits_ = floorLog2(cfg.blockBytes);
     indexBits_ = floorLog2(sets);
 
-    ways_.resize(cfg.assoc);
-    for (auto &w : ways_)
-        w.resize(sets);
+    lines_.assign(static_cast<std::size_t>(sets) * cfg.assoc, Line{});
 }
 
 std::uint64_t
@@ -51,9 +49,9 @@ L1Cache::findWay(Addr a) const
 {
     const std::uint64_t set = setIndex(a);
     const Addr tag = tagOf(a);
+    const Line *const ways = &lines_[set * cfg_.assoc];
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        const Line &l = ways_[w][set];
-        if (l.valid && l.tag == tag)
+        if (ways[w].valid && ways[w].tag == tag)
             return static_cast<int>(w);
     }
     return -1;
@@ -66,7 +64,7 @@ L1Cache::probe(Addr addr) const
     const int w = findWay(addr);
     if (w < 0)
         return res;
-    const Line &l = ways_[w][setIndex(addr)];
+    const Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
     res.hit = true;
     res.writable = l.writable;
     res.dirty = l.dirty;
@@ -78,7 +76,7 @@ L1Cache::touch(Addr addr)
 {
     const int w = findWay(addr);
     if (w >= 0)
-        ways_[w][setIndex(addr)].lastUse = ++useClock_;
+        lines_[setIndex(addr) * cfg_.assoc + w].lastUse = ++useClock_;
 }
 
 void
@@ -87,7 +85,7 @@ L1Cache::markDirty(Addr addr)
     const int w = findWay(addr);
     if (w < 0)
         panic("L1Cache::markDirty on absent line");
-    Line &l = ways_[w][setIndex(addr)];
+    Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
     if (!l.writable)
         panic("L1Cache::markDirty on non-writable line");
     l.dirty = true;
@@ -99,7 +97,7 @@ L1Cache::setWritable(Addr addr, bool writable)
     const int w = findWay(addr);
     if (w < 0)
         panic("L1Cache::setWritable on absent line");
-    ways_[w][setIndex(addr)].writable = writable;
+    lines_[setIndex(addr) * cfg_.assoc + w].writable = writable;
 }
 
 void
@@ -112,9 +110,10 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     if (findWay(addr) >= 0)
         panic("L1Cache::fill of an already-present line");
 
+    Line *const ways = &lines_[set * cfg_.assoc];
     int target = -1;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (!ways_[w][set].valid) {
+        if (!ways[w].valid) {
             target = static_cast<int>(w);
             break;
         }
@@ -122,14 +121,14 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     if (target < 0) {
         std::uint64_t oldest = ~std::uint64_t{0};
         for (unsigned w = 0; w < cfg_.assoc; ++w) {
-            if (ways_[w][set].lastUse < oldest) {
-                oldest = ways_[w][set].lastUse;
+            if (ways[w].lastUse < oldest) {
+                oldest = ways[w].lastUse;
                 target = static_cast<int>(w);
             }
         }
     }
 
-    Line &l = ways_[target][set];
+    Line &l = ways[target];
     if (l.valid) {
         victim.valid = true;
         victim.dirty = l.dirty;
@@ -150,9 +149,9 @@ L1Cache::validLineInfo() const
     std::vector<L1LineInfo> lines;
     lines.reserve(validLines_);
     const std::uint64_t sets = cfg_.sets();
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        for (std::uint64_t set = 0; set < sets; ++set) {
-            const Line &l = ways_[w][set];
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            const Line &l = lines_[set * cfg_.assoc + w];
             if (!l.valid)
                 continue;
             L1LineInfo info;
@@ -175,7 +174,7 @@ L1Cache::invalidate(Addr addr)
     const int w = findWay(addr);
     if (w < 0)
         return false;
-    Line &l = ways_[w][setIndex(addr)];
+    Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
     const bool was_dirty = l.dirty;
     l.valid = false;
     l.dirty = false;

@@ -44,6 +44,14 @@ struct L1LineInfo
     bool dirty = false;
 };
 
+/** How the single-lookup fast path classified a reference. */
+enum class L1FastOutcome : std::uint8_t
+{
+    Hit,      //!< retired: hit needing no L2 help (touched, dirtied)
+    Blocked,  //!< write hit without write permission; cache untouched
+    Miss,     //!< line absent; cache untouched
+};
+
 /** Tag/flag store of the L1 data cache (LRU replacement). */
 class L1Cache
 {
@@ -71,20 +79,34 @@ class L1Cache
     bool
     accessFast(Addr addr, bool write)
     {
+        return accessClassify(addr, write) == L1FastOutcome::Hit;
+    }
+
+    /**
+     * accessFast() that additionally reports *why* the fast path did
+     * not retire the reference, so the caller can enter the L1-miss
+     * route directly instead of re-probing: Blocked (a write hit
+     * lacking permission — the full processorAccess route applies) vs
+     * Miss (the line is absent). Hit semantics are accessFast()'s.
+     */
+    L1FastOutcome
+    accessClassify(Addr addr, bool write)
+    {
         const std::uint64_t set = bitField(addr, offsetBits_, indexBits_);
         const Addr tag = addr >> (offsetBits_ + indexBits_);
+        Line *const ways = &lines_[set * cfg_.assoc];
         for (unsigned w = 0; w < cfg_.assoc; ++w) {
-            Line &l = ways_[w][set];
+            Line &l = ways[w];
             if (!l.valid || l.tag != tag)
                 continue;
             if (write && !l.writable)
-                return false;
+                return L1FastOutcome::Blocked;
             l.lastUse = ++useClock_;
             if (write)
                 l.dirty = true;
-            return true;
+            return L1FastOutcome::Hit;
         }
-        return false;
+        return L1FastOutcome::Miss;
     }
 
     /** Update LRU for a hit on @p addr's line. */
@@ -138,7 +160,9 @@ class L1Cache
     int findWay(Addr a) const;
 
     L1Config cfg_;
-    std::vector<std::vector<Line>> ways_;
+    /** Flat [set * assoc + way] layout: a set's ways are one contiguous
+     *  run, so the per-reference fast-path scan stays in one line. */
+    std::vector<Line> lines_;
     std::uint64_t lineMask_;
     unsigned offsetBits_;
     unsigned indexBits_;

@@ -30,13 +30,12 @@ L2Cache::L2Cache(const L2Config &cfg) : cfg_(cfg)
     unitMask_ = cfg.unitBytes() - 1;
     offsetBits_ = floorLog2(cfg.blockBytes);
     indexBits_ = floorLog2(sets);
+    unitShift_ = floorLog2(cfg.unitBytes());
+    subblockBits_ = cfg.subblocks == 1 ? 0 : floorLog2(cfg.subblocks);
 
-    ways_.resize(cfg.assoc);
-    for (auto &way : ways_) {
-        way.blocks.resize(sets);
-        for (auto &b : way.blocks)
-            b.units.assign(cfg.subblocks, State::Invalid);
-    }
+    tagValid_.assign(static_cast<std::size_t>(sets) * cfg.assoc, 0);
+    lastUse_.assign(tagValid_.size(), 0);
+    units_.assign(tagValid_.size() * cfg.subblocks, State::Invalid);
 }
 
 void
@@ -60,28 +59,24 @@ L2Cache::tagOf(Addr a) const
 unsigned
 L2Cache::unitIndex(Addr a) const
 {
-    return static_cast<unsigned>(bitField(a, floorLog2(cfg_.unitBytes()),
-                                          floorLog2(cfg_.subblocks) == 0
-                                              ? 0
-                                              : floorLog2(cfg_.subblocks)));
+    return static_cast<unsigned>(bitField(a, unitShift_, subblockBits_));
 }
 
 Addr
-L2Cache::unitAddrOf(const Block &b, std::uint64_t set, unsigned unit) const
+L2Cache::unitAddrOf(Addr tag, std::uint64_t set, unsigned unit) const
 {
     const Addr block_addr =
-        (b.tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
+        (tag << (offsetBits_ + indexBits_)) | (set << offsetBits_);
     return block_addr + static_cast<Addr>(unit) * cfg_.unitBytes();
 }
 
 int
 L2Cache::findWay(Addr a) const
 {
-    const std::uint64_t set = setIndex(a);
-    const Addr tag = tagOf(a);
+    const std::size_t base = frameOf(setIndex(a), 0);
+    const std::uint64_t want = (tagOf(a) << 1) | 1;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        const Block &b = ways_[w].blocks[set];
-        if (b.valid && b.tag == tag)
+        if (tagValid_[base + w] == want)
             return static_cast<int>(w);
     }
     return -1;
@@ -95,11 +90,47 @@ L2Cache::probe(Addr addr) const
     if (w < 0)
         return res;
     res.tagMatch = true;
-    const Block &b = ways_[w].blocks[setIndex(addr)];
-    const State s = b.units[unitIndex(addr)];
+    const State s =
+        unitsOf(frameOf(setIndex(addr), w))[unitIndex(addr)];
     res.unitValid = coherence::isValid(s);
     res.state = s;
     return res;
+}
+
+int
+L2Cache::probeWay(Addr addr, L2LookupResult &res) const
+{
+    res = L2LookupResult{};
+    const int w = findWay(addr);
+    if (w < 0)
+        return -1;
+    res.tagMatch = true;
+    const State s =
+        unitsOf(frameOf(setIndex(addr), w))[unitIndex(addr)];
+    res.unitValid = coherence::isValid(s);
+    res.state = s;
+    return w;
+}
+
+SnoopOutcome
+L2Cache::snoopAtWay(int way, Addr addr, BusOp op)
+{
+    if (way < 0)
+        return SnoopOutcome{};
+    assert(way == findWay(addr));
+
+    State &s = unitsOf(frameOf(setIndex(addr), way))[unitIndex(addr)];
+    const State cur = s;
+    const SnoopOutcome out = coherence::snoopTransition(cur, op);
+
+    if (out.next != cur) {
+        s = out.next;
+        if (coherence::isValid(cur) && !coherence::isValid(out.next)) {
+            --validUnits_;
+            notifyEvict(unitAlign(addr));
+        }
+    }
+    return out;
 }
 
 bool
@@ -112,9 +143,8 @@ void
 L2Cache::touch(Addr addr)
 {
     const int w = findWay(addr);
-    if (w < 0)
-        return;
-    ways_[w].blocks[setIndex(addr)].lastUse = ++useClock_;
+    if (w >= 0)
+        touchAt(w, addr);
 }
 
 void
@@ -123,8 +153,14 @@ L2Cache::setState(Addr addr, State next)
     const int w = findWay(addr);
     if (w < 0)
         panic("L2Cache::setState on absent block");
-    Block &b = ways_[w].blocks[setIndex(addr)];
-    State &s = b.units[unitIndex(addr)];
+    setStateAt(w, addr, next);
+}
+
+void
+L2Cache::setStateAt(int way, Addr addr, State next)
+{
+    assert(way == findWay(addr));
+    State &s = unitsOf(frameOf(setIndex(addr), way))[unitIndex(addr)];
     if (!coherence::isValid(s))
         panic("L2Cache::setState on invalid unit");
     if (!coherence::isValid(next))
@@ -145,9 +181,10 @@ L2Cache::fill(Addr addr, State state, std::vector<L2Victim> &victims)
 
     if (w < 0) {
         // Choose a victim way: an invalid one if possible, else LRU.
+        const std::size_t base = frameOf(set, 0);
         int victim = -1;
         for (unsigned i = 0; i < cfg_.assoc; ++i) {
-            if (!ways_[i].blocks[set].valid) {
+            if (!(tagValid_[base + i] & 1)) {
                 victim = static_cast<int>(i);
                 break;
             }
@@ -155,37 +192,37 @@ L2Cache::fill(Addr addr, State state, std::vector<L2Victim> &victims)
         if (victim < 0) {
             std::uint64_t oldest = ~std::uint64_t{0};
             for (unsigned i = 0; i < cfg_.assoc; ++i) {
-                const Block &b = ways_[i].blocks[set];
-                if (b.lastUse < oldest) {
-                    oldest = b.lastUse;
+                if (lastUse_[base + i] < oldest) {
+                    oldest = lastUse_[base + i];
                     victim = static_cast<int>(i);
                 }
             }
         }
 
-        Block &b = ways_[victim].blocks[set];
-        if (b.valid) {
+        std::uint64_t &tv = tagValid_[base + victim];
+        State *const b_units = unitsOf(base + victim);
+        if (tv & 1) {
             evicted = true;
+            const Addr old_tag = tv >> 1;
             for (unsigned u = 0; u < cfg_.subblocks; ++u) {
-                if (coherence::isValid(b.units[u])) {
-                    const Addr ua = unitAddrOf(b, set, u);
-                    victims.push_back({ua, b.units[u]});
-                    b.units[u] = State::Invalid;
+                if (coherence::isValid(b_units[u])) {
+                    const Addr ua = unitAddrOf(old_tag, set, u);
+                    victims.push_back({ua, b_units[u]});
+                    b_units[u] = State::Invalid;
                     --validUnits_;
                     notifyEvict(ua);
                 }
             }
         }
-        b.valid = true;
-        b.tag = tag;
-        for (auto &u : b.units)
-            u = State::Invalid;
+        tv = (tag << 1) | 1;
+        for (unsigned u = 0; u < cfg_.subblocks; ++u)
+            b_units[u] = State::Invalid;
         w = victim;
     }
 
-    Block &b = ways_[w].blocks[set];
-    b.lastUse = ++useClock_;
-    State &s = b.units[unit];
+    const std::size_t frame = frameOf(set, w);
+    lastUse_[frame] = ++useClock_;
+    State &s = unitsOf(frame)[unit];
     if (coherence::isValid(s))
         panic("L2Cache::fill into an already-valid unit");
     s = state;
@@ -197,23 +234,7 @@ L2Cache::fill(Addr addr, State state, std::vector<L2Victim> &victims)
 SnoopOutcome
 L2Cache::snoop(Addr addr, BusOp op)
 {
-    const int w = findWay(addr);
-    if (w < 0)
-        return SnoopOutcome{};
-
-    Block &b = ways_[w].blocks[setIndex(addr)];
-    const unsigned unit = unitIndex(addr);
-    const State cur = b.units[unit];
-    const SnoopOutcome out = coherence::snoopTransition(cur, op);
-
-    if (out.next != cur) {
-        b.units[unit] = out.next;
-        if (coherence::isValid(cur) && !coherence::isValid(out.next)) {
-            --validUnits_;
-            notifyEvict(unitAlign(addr));
-        }
-    }
-    return out;
+    return snoopAtWay(findWay(addr), addr, op);
 }
 
 void
@@ -222,8 +243,7 @@ L2Cache::invalidateUnit(Addr addr)
     const int w = findWay(addr);
     if (w < 0)
         return;
-    Block &b = ways_[w].blocks[setIndex(addr)];
-    State &s = b.units[unitIndex(addr)];
+    State &s = unitsOf(frameOf(setIndex(addr), w))[unitIndex(addr)];
     if (coherence::isValid(s)) {
         s = State::Invalid;
         --validUnits_;
@@ -237,14 +257,18 @@ L2Cache::validUnitInfo() const
     std::vector<L2UnitInfo> units;
     units.reserve(validUnits_);
     const std::uint64_t sets = cfg_.sets();
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        for (std::uint64_t set = 0; set < sets; ++set) {
-            const Block &b = ways_[w].blocks[set];
-            if (!b.valid)
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            const std::size_t frame = frameOf(set, w);
+            const std::uint64_t tv = tagValid_[frame];
+            if (!(tv & 1))
                 continue;
+            const State *const b_units = unitsOf(frame);
             for (unsigned u = 0; u < cfg_.subblocks; ++u) {
-                if (coherence::isValid(b.units[u]))
-                    units.push_back({unitAddrOf(b, set, u), b.units[u]});
+                if (coherence::isValid(b_units[u])) {
+                    units.push_back(
+                        {unitAddrOf(tv >> 1, set, u), b_units[u]});
+                }
             }
         }
     }
@@ -260,11 +284,11 @@ L2Cache::residentBlockAddrs() const
 {
     std::vector<Addr> blocks;
     const std::uint64_t sets = cfg_.sets();
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        for (std::uint64_t set = 0; set < sets; ++set) {
-            const Block &b = ways_[w].blocks[set];
-            if (b.valid)
-                blocks.push_back(unitAddrOf(b, set, 0));
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            const std::uint64_t tv = tagValid_[frameOf(set, w)];
+            if (tv & 1)
+                blocks.push_back(unitAddrOf(tv >> 1, set, 0));
         }
     }
     std::sort(blocks.begin(), blocks.end());

@@ -70,12 +70,40 @@ class L2Cache
      */
     L2LookupResult probe(Addr addr) const;
 
+    /**
+     * probe() that additionally reports which way holds the block
+     * (-1 on a tag miss), so a following snoopAtWay() can reuse the
+     * lookup — the batched snoop path's single-lookup discipline.
+     */
+    int probeWay(Addr addr, L2LookupResult &res) const;
+
+    /**
+     * Apply a snoop to the unit containing @p addr when probeWay()
+     * already located the block at @p way (-1 = tag miss, a no-op
+     * outcome). Exactly snoop() minus the repeated tag lookup; the
+     * caller must not have mutated the cache in between.
+     */
+    coherence::SnoopOutcome snoopAtWay(int way, Addr addr,
+                                       coherence::BusOp op);
+
     /** True when any unit of the block containing @p addr is valid; used
      *  to size up what a snoop tag probe would find. */
     bool hasBlock(Addr addr) const;
 
     /** Update LRU for a local access that hit the block of @p addr. */
     void touch(Addr addr);
+
+    /** touch() when probeWay() already located the block at @p way
+     *  (>= 0) and nothing mutated the cache in between. */
+    void
+    touchAt(int way, Addr addr)
+    {
+        lastUse_[frameOf(setIndex(addr), way)] = ++useClock_;
+    }
+
+    /** setState() when probeWay() already located the block at @p way
+     *  (>= 0, valid unit) and nothing mutated the cache in between. */
+    void setStateAt(int way, Addr addr, coherence::State next);
 
     /**
      * Set the state of an already-present unit (upgrade, downgrade);
@@ -126,23 +154,30 @@ class L2Cache
     const L2Config &config() const { return cfg_; }
 
   private:
-    struct Block
-    {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-        std::vector<coherence::State> units;
-    };
-
-    struct Way
-    {
-        std::vector<Block> blocks;  //!< one per set
-    };
-
     std::uint64_t setIndex(Addr a) const;
     Addr tagOf(Addr a) const;
     unsigned unitIndex(Addr a) const;
-    Addr unitAddrOf(const Block &b, std::uint64_t set, unsigned unit) const;
+
+    /** Flat frame index of (set, way). */
+    std::size_t
+    frameOf(std::uint64_t set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * cfg_.assoc + way;
+    }
+
+    /** First unit-state slot of frame @p frame. */
+    coherence::State *
+    unitsOf(std::size_t frame)
+    {
+        return &units_[frame * cfg_.subblocks];
+    }
+    const coherence::State *
+    unitsOf(std::size_t frame) const
+    {
+        return &units_[frame * cfg_.subblocks];
+    }
+
+    Addr unitAddrOf(Addr tag, std::uint64_t set, unsigned unit) const;
 
     /** Find the way holding the block of @p a, or -1. */
     int findWay(Addr a) const;
@@ -150,12 +185,22 @@ class L2Cache
     void notifyFill(Addr unitAddr);
     void notifyEvict(Addr unitAddr);
 
+    // Frame storage, split hot/cold in flat [set * assoc + way] arrays
+    // (a set's ways adjacent). The tag scan of a probe or snoop reads
+    // one word per way — (tag << 1) | valid, matched with a single
+    // compare — and per-subblock states sit in a parallel array; the
+    // LRU clocks are only touched by local accesses and fills, so the
+    // snoop-heavy paths never pull them into the host's caches.
     L2Config cfg_;
-    std::vector<Way> ways_;
+    std::vector<std::uint64_t> tagValid_;  //!< [frame] (tag << 1) | valid
+    std::vector<std::uint64_t> lastUse_;   //!< [frame] LRU clocks
+    std::vector<coherence::State> units_;  //!< [frame * subblocks + unit]
     std::uint64_t blockMask_;
     std::uint64_t unitMask_;
     unsigned offsetBits_;
     unsigned indexBits_;
+    unsigned unitShift_;     //!< log2(unitBytes), precomputed
+    unsigned subblockBits_;  //!< log2(subblocks), precomputed
     std::uint64_t useClock_ = 0;
     std::uint64_t validUnits_ = 0;
     std::vector<CacheEventListener *> listeners_;

@@ -11,6 +11,7 @@ WritebackBuffer::push(const WbEntry &e)
     if (!hasRoom())
         panic("WritebackBuffer::push without room");
     entries_.push_back(e);
+    signature_ |= signatureBit(e.unitAddr);
 }
 
 WbEntry
@@ -20,6 +21,7 @@ WritebackBuffer::pop()
         panic("WritebackBuffer::pop on empty buffer");
     WbEntry e = entries_.front();
     entries_.pop_front();
+    rebuildSignature();
     return e;
 }
 
@@ -41,6 +43,7 @@ WritebackBuffer::snoop(Addr unitAddr, bool invalidate)
             continue;
         if (invalidate) {
             entries_.erase(it);
+            rebuildSignature();
         } else if (it->state == coherence::State::Modified) {
             it->state = coherence::State::Owned;
         }
@@ -69,12 +72,21 @@ WritebackBuffer::take(Addr unitAddr, bool &found)
         if (it->unitAddr == unitAddr) {
             WbEntry e = *it;
             entries_.erase(it);
+            rebuildSignature();
             found = true;
             return e;
         }
     }
     found = false;
     return WbEntry{};
+}
+
+void
+WritebackBuffer::rebuildSignature()
+{
+    signature_ = 0;
+    for (const auto &e : entries_)
+        signature_ |= signatureBit(e.unitAddr);
 }
 
 } // namespace jetty::mem

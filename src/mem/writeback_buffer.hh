@@ -56,6 +56,19 @@ class WritebackBuffer
     bool contains(Addr unitAddr) const;
 
     /**
+     * Conservative one-load presence test: false guarantees the buffer
+     * does not hold @p unitAddr (the batched snoop path skips the scan);
+     * true only means "possibly". Backed by a 64-bit Bloom signature
+     * maintained across push/pop/take/snoop, so it is exact-safe — a
+     * stale bit can only cause a redundant scan, never a missed entry.
+     */
+    bool
+    maybeContains(Addr unitAddr) const
+    {
+        return (signature_ & signatureBit(unitAddr)) != 0;
+    }
+
+    /**
      * Remove and return the entry for @p unitAddr (reclaim by the owner,
      * or invalidation by a remote BusReadX after the buffer supplied
      * data). @p found reports whether it existed.
@@ -87,8 +100,21 @@ class WritebackBuffer
     const std::deque<WbEntry> &entries() const { return entries_; }
 
   private:
+    /** Signature bit of @p unitAddr: a multiplicative hash over the
+     *  unit-granular address bits, mapped onto a 64-bit mask. */
+    static std::uint64_t
+    signatureBit(Addr unitAddr)
+    {
+        return std::uint64_t{1}
+               << (((unitAddr >> 5) * 0x9E3779B97F4A7C15ull) >> 58);
+    }
+
+    /** Recompute the signature from the live entries (<= capacity). */
+    void rebuildSignature();
+
     std::deque<WbEntry> entries_;
     unsigned capacity_;
+    std::uint64_t signature_ = 0;
 };
 
 } // namespace jetty::mem

@@ -1,5 +1,7 @@
 #include "sim/latency.hh"
 
+#include <algorithm>
+
 namespace jetty::sim
 {
 
@@ -39,6 +41,46 @@ evaluateLatency(const filter::FilterStats &stats, const LatencyParams &p)
     impact.jettyMeanCycles =
         filtered_frac * p.jettyCycles +
         (1.0 - filtered_frac) * (p.jettyCycles + p.l2TagCycles);
+    return impact;
+}
+
+BusContentionImpact
+evaluateBusContention(const SimStats &stats, const LatencyParams &p)
+{
+    BusContentionImpact impact;
+    if (stats.perBus.empty())
+        return impact;
+
+    // Unit-IPC convention: each processor retires one reference per
+    // processor cycle, so the run spans max-per-processor-references
+    // cycles; the buses run busClockRatio times slower.
+    std::uint64_t run_cycles = 0;
+    for (const auto &proc : stats.procs)
+        run_cycles = std::max(run_cycles, proc.accesses);
+    if (run_cycles == 0)
+        return impact;
+    const double bus_cycles =
+        static_cast<double>(run_cycles) / p.busClockRatio;
+
+    double rho_sum = 0;
+    double rho_max = 0;
+    for (const auto &bus : stats.perBus) {
+        const double rho = static_cast<double>(bus.transactions) *
+                           p.busOccupancyBusCycles / bus_cycles;
+        rho_sum += rho;
+        rho_max = std::max(rho_max, rho);
+        if (rho >= 1.0)
+            impact.saturated = true;
+    }
+    impact.busiestUtilization = rho_max;
+    impact.meanUtilization = rho_sum / stats.perBus.size();
+
+    // M/D/1 mean queueing wait of the busiest bus; clamped just below
+    // saturation so a saturated run reports a large finite number with
+    // the saturated flag set rather than infinity.
+    const double rho = std::min(rho_max, 0.999);
+    impact.busiestWaitBusCycles =
+        rho / (2.0 * (1.0 - rho)) * p.busOccupancyBusCycles;
     return impact;
 }
 

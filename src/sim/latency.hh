@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/filter_bank.hh"
+#include "sim/sim_stats.hh"
 
 namespace jetty::sim
 {
@@ -31,6 +32,10 @@ struct LatencyParams
     double jettyCycles = 0.5;   //!< JETTY probe (8-ported 32x32 RF scale)
     double l2TagCycles = 12.0;  //!< L2 tag array probe
     double busClockRatio = 6.0; //!< processor cycles per bus cycle
+
+    /** Bus cycles one snoop transaction occupies its home bus for
+     *  (address + snoop-response phases of an atomic bus). */
+    double busOccupancyBusCycles = 1.0;
 };
 
 /** Latency impact of one filter configuration over one run. */
@@ -56,6 +61,33 @@ struct LatencyImpact
  */
 LatencyImpact evaluateLatency(const filter::FilterStats &stats,
                               const LatencyParams &params = LatencyParams{});
+
+/**
+ * Contention term of the split snoop interconnect: how loaded each
+ * logical bus was over a run, and the queueing delay that load implies.
+ * Analytic over run statistics, like the rest of this model: processor
+ * time is approximated as one cycle per retired reference per processor
+ * (the trace replay's unit-IPC convention), bus time as that over
+ * busClockRatio, and each bus as an M/D/1 server with deterministic
+ * service busOccupancyBusCycles — mean wait rho/(2(1-rho)) * service.
+ * Splitting the interconnect divides each bus's arrival stream by the
+ * interleave, so utilization and waiting fall with the bus count.
+ */
+struct BusContentionImpact
+{
+    double busiestUtilization = 0;   //!< rho of the most loaded bus
+    double meanUtilization = 0;      //!< mean rho over all buses
+    double busiestWaitBusCycles = 0; //!< M/D/1 wait on the busiest bus
+    bool saturated = false;          //!< some bus had rho >= 1
+};
+
+/**
+ * Evaluate bus contention from a run's statistics. @p stats must carry
+ * the per-bus occupancy (SimStats::perBus) the interconnect recorded.
+ */
+BusContentionImpact
+evaluateBusContention(const SimStats &stats,
+                      const LatencyParams &params = LatencyParams{});
 
 } // namespace jetty::sim
 

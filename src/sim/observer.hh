@@ -37,6 +37,11 @@ struct SnoopEvent
 
     bool wbHit = false;     //!< target's write-back buffer held the unit
     bool supplied = false;  //!< target's L2 sourced the data
+
+    /** Logical snoop bus the transaction was routed to (0 on a single
+     *  shared bus). The CheckerSuite's bus-routing invariant verifies it
+     *  against an independent restatement of the interleave. */
+    unsigned busId = 0;
 };
 
 /** Passive observer of the simulation's event streams. */
@@ -53,10 +58,12 @@ class SimObserver
     virtual void onSnoop(const SnoopEvent &) {}
 
     /** A bus transaction completed; @p remoteCopies is the number of
-     *  remote nodes (L2 or write-back buffer) that held the unit. */
+     *  remote nodes (L2 or write-back buffer) that held the unit and
+     *  @p busId the logical snoop bus it was routed to. */
     virtual void onBusTransaction(ProcId /*requester*/, coherence::BusOp,
                                   Addr /*unitAddr*/,
-                                  unsigned /*remoteCopies*/)
+                                  unsigned /*remoteCopies*/,
+                                  unsigned /*busId*/)
     {}
 };
 

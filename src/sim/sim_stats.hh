@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "energy/accountant.hh"
+#include "sim/interconnect.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -69,8 +70,11 @@ struct ProcStats
 /** Whole-system statistics. */
 struct SimStats
 {
-    explicit SimStats(unsigned nprocs)
-        : procs(nprocs), remoteHits(nprocs)
+    /** @param snoopBuses sizes the per-bus occupancy vectors (1 when the
+     *  stats block is built before the interconnect is known). */
+    explicit SimStats(unsigned nprocs, unsigned snoopBuses = 1)
+        : procs(nprocs), remoteHits(nprocs), perBus(snoopBuses),
+          busSnoopTagProbes(snoopBuses, 0)
     {}
 
     std::vector<ProcStats> procs;
@@ -81,6 +85,15 @@ struct SimStats
 
     /** Total snooping bus transactions (reads + readXs + upgrades). */
     std::uint64_t snoopTransactions = 0;
+
+    /** Per-bus transaction occupancy, indexed by bus id — the split
+     *  interconnect's view (sums to snoopTransactions). */
+    std::vector<BusStats> perBus;
+
+    /** Snoop-induced L2 tag probes per bus (each transaction probes
+     *  nprocs-1 remote L2s on its home bus) — the accountant's per-bus
+     *  snoop energy input. */
+    std::vector<std::uint64_t> busSnoopTagProbes;
 
     /** Aggregate of all per-processor counters. */
     ProcStats aggregate() const;

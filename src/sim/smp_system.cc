@@ -24,7 +24,9 @@ SmpConfig::addressMap() const
 }
 
 SmpSystem::SmpSystem(const SmpConfig &cfg)
-    : cfg_(cfg), stats_(cfg.nprocs)
+    : cfg_(cfg),
+      interconnect_(cfg.snoopBuses, floorLog2(cfg.l2.blockBytes)),
+      stats_(cfg.nprocs, cfg.snoopBuses)
 {
     if (cfg.nprocs < 2)
         fatal("SmpSystem: an SMP needs at least two processors");
@@ -38,7 +40,7 @@ SmpSystem::SmpSystem(const SmpConfig &cfg)
         node->l2 = std::make_unique<mem::L2Cache>(cfg.l2);
         node->wb = std::make_unique<mem::WritebackBuffer>(cfg.wbEntries);
         node->bank = std::make_unique<filter::FilterBank>(
-            cfg.filterSpecs, amap, cfg.checkSafety);
+            cfg.filterSpecs, amap, cfg.checkSafety, cfg.snoopBuses);
         node->l2->addListener(node->bank.get());
         nodes_.push_back(std::move(node));
     }
@@ -96,7 +98,7 @@ SmpSystem::run()
     // reference through processorAccess(), which is where the hooks
     // fire, and it is bit-identical to the batched loop below (asserted
     // in test_sim). The hooks-unset hot path is untouched.
-    if (observer_) {
+    if (observer_ || probeObserved_) {
         while (step()) {
         }
         return;
@@ -106,15 +108,29 @@ SmpSystem::run()
     // reference per live processor per sweep — but references needing no
     // L2 or bus interaction (the vast majority) are retired inline via
     // the L1's single-lookup fast path instead of the general
-    // processorAccess() route. Both paths make identical state changes,
-    // so run(), step()-driven loops, and every batchRefs value produce
-    // bit-identical statistics.
+    // processorAccess() route, and the filter banks run deferred: every
+    // snoop observation and L2 fill/evict notification is queued per
+    // home snoop bus and replayed through the per-filter batched probe
+    // path at chunk boundaries (FilterBank::flushDeferred). Both routes
+    // make identical coherence state changes, so run(), step()-driven
+    // loops, and every batchRefs value produce bit-identical statistics
+    // (and with snoopBuses == 1 the deferred replay is the exact
+    // immediate-observation order, making the filter numbers
+    // bit-identical too).
     const unsigned nprocs = static_cast<unsigned>(nodes_.size());
     const Addr unit_mask = ~(static_cast<Addr>(cfg_.l2.unitBytes()) - 1);
 
-    // Live processors in ascending id order (the round-robin order).
+    for (auto &node : nodes_)
+        node->bank->beginDeferred();
+    deferActive_ = true;
+
+    // Live processors in ascending id order (the round-robin order),
+    // with their nodes resolved once per chunk so the per-reference
+    // loop does no unique_ptr chasing.
     std::vector<ProcId> live;
+    std::vector<Node *> liveNodes;
     live.reserve(nprocs);
+    liveNodes.reserve(nprocs);
 
     for (;;) {
         // Top up every live batch and size the next chunk of sweeps: all
@@ -124,6 +140,7 @@ SmpSystem::run()
         // semantics would discover its exhaustion — the (proc, record)
         // issue order is untouched.
         live.clear();
+        liveNodes.clear();
         std::size_t rounds = ~std::size_t{0};
         for (unsigned p = 0; p < nprocs; ++p) {
             Node &node = *nodes_[p];
@@ -132,18 +149,22 @@ SmpSystem::run()
             if (node.batchPos == node.batchLen && !refillBatch(node))
                 continue;
             live.push_back(p);
+            liveNodes.push_back(&node);
             rounds = std::min(rounds, node.batchLen - node.batchPos);
         }
         if (live.empty())
-            return;
+            break;
 
         for (std::size_t r = 0; r < rounds; ++r) {
-            for (const ProcId p : live) {
-                Node &node = *nodes_[p];
+            for (std::size_t li = 0; li < live.size(); ++li) {
+                const ProcId p = live[li];
+                Node &node = *liveNodes[li];
                 const trace::TraceRecord &rec =
                     node.batch[node.batchPos++];
                 const bool write = rec.type == AccessType::Write;
-                if (node.l1->accessFast(rec.addr & unit_mask, write)) {
+                const auto fast =
+                    node.l1->accessClassify(rec.addr & unit_mask, write);
+                if (fast == mem::L1FastOutcome::Hit) {
                     ProcStats &ps = stats_.procs[p];
                     ++ps.accesses;
                     if (write)
@@ -153,10 +174,37 @@ SmpSystem::run()
                     ++ps.l1Hits;
                     continue;
                 }
+                if (fast == mem::L1FastOutcome::Miss) {
+                    // The classify scan already established the miss:
+                    // enter the miss tail directly (same counters, no
+                    // second L1 probe).
+                    ProcStats &ps = stats_.procs[p];
+                    ++ps.accesses;
+                    if (write)
+                        ++ps.writes;
+                    else
+                        ++ps.reads;
+                    ++ps.l1Misses;
+                    missTail(p, rec.type, rec.addr,
+                             rec.addr & unit_mask);
+                    continue;
+                }
+                // Blocked: a write hit lacking permission — the rare
+                // upgrade path; take the fully general route.
                 processorAccess(p, rec.type, rec.addr);
             }
         }
+
+        // Chunk boundary: replay every node's queued filter events
+        // through the batched probe path before the queues grow past
+        // the cache-friendly chunk size.
+        for (auto &node : nodes_)
+            node->bank->flushDeferred();
     }
+
+    deferActive_ = false;
+    for (auto &node : nodes_)
+        node->bank->endDeferred();
 }
 
 const filter::FilterBank &
@@ -168,6 +216,7 @@ SmpSystem::bank(ProcId p) const
 void
 SmpSystem::setFilterProbeObserver(filter::FilterProbeObserver *obs)
 {
+    probeObserved_ = obs != nullptr;
     for (unsigned p = 0; p < nodes_.size(); ++p)
         nodes_[p]->bank->setProbeObserver(obs, p);
 }
@@ -206,6 +255,85 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
 {
     BusResponse resp;
     ++stats_.snoopTransactions;
+
+    // Route to the unit's home bus and count its occupancy.
+    const unsigned bus = interconnect_.busOf(unitAddr);
+    {
+        BusStats &bs = stats_.perBus[bus];
+        ++bs.transactions;
+        switch (op) {
+          case BusOp::BusRead:
+            ++bs.reads;
+            break;
+          case BusOp::BusReadX:
+            ++bs.readXs;
+            break;
+          case BusOp::BusUpgrade:
+            ++bs.upgrades;
+            break;
+          case BusOp::BusWriteback:
+            break;
+        }
+        stats_.busSnoopTagProbes[bus] += nodes_.size() - 1;
+    }
+
+    if (deferActive_) {
+        // The batched hot path: identical coherence transitions, but the
+        // write-back scan is gated by the exact-safe presence signature,
+        // the L2 snoop reuses the ground-truth probe's way lookup, and
+        // the filter bank observation is queued for the chunk-end
+        // batched replay instead of walking every filter now.
+        for (unsigned q = 0; q < nodes_.size(); ++q) {
+            if (q == requester)
+                continue;
+            Node &node = *nodes_[q];
+            ProcStats &qs = stats_.procs[q];
+
+            bool copy_here = false;
+            const bool wb_hit =
+                node.wb->maybeContains(unitAddr) &&
+                node.wb->snoop(unitAddr, op == BusOp::BusReadX ||
+                                             op == BusOp::BusUpgrade);
+            if (wb_hit) {
+                copy_here = true;
+                ++qs.wbSnoopsHit;
+                resp.suppliedByCache = true;
+            }
+
+            mem::L2LookupResult probe_res;
+            const int way = node.l2->probeWay(unitAddr, probe_res);
+            node.bank->deferSnoop(bus, unitAddr, probe_res.unitValid,
+                                  probe_res.tagMatch);
+
+            ++qs.snoopTagProbes;
+            ++qs.traffic.snoopTagProbes;
+
+            const State before = probe_res.state;
+            const auto outcome = node.l2->snoopAtWay(way, unitAddr, op);
+            if (outcome.hadCopy) {
+                copy_here = true;
+                ++qs.snoopHits;
+                if (outcome.supplied) {
+                    ++qs.snoopSupplies;
+                    resp.suppliedByCache = true;
+                    ++qs.traffic.snoopDataReads;
+                }
+                if (outcome.next != before)
+                    ++qs.traffic.snoopTagUpdates;
+                if (!coherence::isValid(outcome.next) ||
+                    coherence::isWritable(before)) {
+                    enforceInclusion(q, unitAddr);
+                }
+            } else {
+                ++qs.snoopMisses;
+            }
+
+            if (copy_here)
+                ++resp.remoteCopies;
+        }
+        stats_.remoteHits.sample(resp.remoteCopies);
+        return resp;
+    }
 
     for (unsigned q = 0; q < nodes_.size(); ++q) {
         if (q == requester)
@@ -282,6 +410,7 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
             ev.after = outcome.next;
             ev.wbHit = wb_hit;
             ev.supplied = outcome.supplied;
+            ev.busId = bus;
             observer_->onSnoop(ev);
         }
     }
@@ -289,7 +418,7 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
     stats_.remoteHits.sample(resp.remoteCopies);
     if (observer_)
         observer_->onBusTransaction(requester, op, unitAddr,
-                                    resp.remoteCopies);
+                                    resp.remoteCopies, bus);
     return resp;
 }
 
@@ -344,7 +473,8 @@ SmpSystem::fetchUnit(ProcId p, Addr unitAddr, bool forWrite)
     }
 
     // Install the unit; handle the displaced block, if any.
-    std::vector<mem::L2Victim> victims;
+    std::vector<mem::L2Victim> &victims = victimScratch_;
+    victims.clear();
     node.l2->fill(unitAddr, fill_state, victims);
     ++ps.l2Fills;
     ++ps.traffic.localTagUpdates;  // tag/state install
@@ -390,23 +520,25 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
 
         ++ps.l2LocalAccesses;
         ++ps.traffic.localTagProbes;
-        const auto l2_res = node.l2->probe(unit);
+        mem::L2LookupResult l2_res;
+        const int way = node.l2->probeWay(unit, l2_res);
         if (!l2_res.unitValid)
             panic("inclusion violated: L1 line without L2 unit");
         ++ps.l2LocalHits;
-        node.l2->touch(unit);
+        node.l2->touchAt(way, unit);
 
         if (coherence::isWritable(l2_res.state)) {
             if (l2_res.state == State::Exclusive) {
-                node.l2->setState(unit, State::Modified);
+                node.l2->setStateAt(way, unit, State::Modified);
                 ++ps.upgradesSilent;
                 ++ps.traffic.localTagUpdates;
             }
         } else {
-            // Shared or Owned: invalidate the other copies.
+            // Shared or Owned: invalidate the other copies. (The bus
+            // only snoops remote nodes, so the located way survives.)
             broadcast(p, BusOp::BusUpgrade, unit);
             ++ps.busUpgrades;
-            node.l2->setState(unit, State::Modified);
+            node.l2->setStateAt(way, unit, State::Modified);
             ++ps.traffic.localTagUpdates;
         }
         node.l1->setWritable(unit, true);
@@ -418,10 +550,20 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
 
     // ---- L1 miss: go to the L2. ----
     ++ps.l1Misses;
+    missTail(p, type, addr, unit);
+}
+
+void
+SmpSystem::missTail(ProcId p, AccessType type, Addr addr, Addr unit)
+{
+    Node &node = *nodes_[p];
+    ProcStats &ps = stats_.procs[p];
+
     ++ps.l2LocalAccesses;
     ++ps.traffic.localTagProbes;
 
-    const auto l2_res = node.l2->probe(unit);
+    mem::L2LookupResult l2_res;
+    const int way = node.l2->probeWay(unit, l2_res);
     State unit_state = l2_res.state;
     bool l2_hit = l2_res.unitValid;
 
@@ -430,16 +572,16 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
         // Write to a Shared/Owned unit: upgrade first.
         broadcast(p, BusOp::BusUpgrade, unit);
         ++ps.busUpgrades;
-        node.l2->setState(unit, State::Modified);
+        node.l2->setStateAt(way, unit, State::Modified);
         ++ps.traffic.localTagUpdates;
         unit_state = State::Modified;
     }
 
     if (l2_hit) {
         ++ps.l2LocalHits;
-        node.l2->touch(unit);
+        node.l2->touchAt(way, unit);
         if (type == AccessType::Write && unit_state == State::Exclusive) {
-            node.l2->setState(unit, State::Modified);
+            node.l2->setStateAt(way, unit, State::Modified);
             ++ps.upgradesSilent;
             ++ps.traffic.localTagUpdates;
             unit_state = State::Modified;
@@ -462,12 +604,13 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
         ++ps.l1Writebacks;
         ++ps.l2LocalAccesses;
         ++ps.traffic.localTagProbes;
-        const auto wb_res = node.l2->probe(victim.lineAddr);
+        mem::L2LookupResult wb_res;
+        const int wb_way = node.l2->probeWay(victim.lineAddr, wb_res);
         if (!wb_res.unitValid)
             panic("inclusion violated: dirty L1 victim without L2 unit");
         ++ps.l2LocalHits;
         if (wb_res.state == State::Exclusive) {
-            node.l2->setState(victim.lineAddr, State::Modified);
+            node.l2->setStateAt(wb_way, victim.lineAddr, State::Modified);
             ++ps.traffic.localTagUpdates;
         } else if (!coherence::isDirty(wb_res.state)) {
             panic("dirty L1 victim over a non-writable L2 unit");

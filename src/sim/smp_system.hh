@@ -24,6 +24,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_cache.hh"
 #include "mem/writeback_buffer.hh"
+#include "sim/interconnect.hh"
 #include "sim/observer.hh"
 #include "sim/sim_stats.hh"
 #include "trace/trace_source.hh"
@@ -55,6 +56,20 @@ struct SmpConfig
      * every value.
      */
     unsigned batchRefs = 256;
+
+    /**
+     * Logical snoop buses of the address-interleaved split interconnect
+     * (sim/interconnect.hh). 1 is the classic single shared bus and is
+     * bit-identical to the pre-interconnect simulator in every number.
+     * Any value leaves the coherence outcome (caches, write-back
+     * buffers, architectural statistics) untouched — all transactions
+     * for one unit serialize on its home bus — and only changes the
+     * per-bus occupancy stats, the latency model's contention input,
+     * and the bus-major order in which deferred filter banks replay
+     * their observations (per-filter coverage may shift for
+     * snoopBuses > 1; safety never does).
+     */
+    unsigned snoopBuses = 1;
 
     /** Derive the filters' address-space facts. */
     filter::AddressMap addressMap() const;
@@ -124,8 +139,14 @@ class SmpSystem
      */
     void setObserver(SimObserver *obs) { observer_ = obs; }
 
-    /** Attach a per-(filter, snoop) observer to every node's bank. */
+    /** Attach a per-(filter, snoop) observer to every node's bank.
+     *  While one is attached run() takes the fully instrumented
+     *  per-reference route (like setObserver), so every verdict is
+     *  emitted immediately and in stream order. */
     void setFilterProbeObserver(filter::FilterProbeObserver *obs);
+
+    /** The snoop interconnect (bus count and routing). */
+    const Interconnect &interconnect() const { return interconnect_; }
 
   private:
     struct Node
@@ -147,8 +168,11 @@ class SmpSystem
      *  returns false) when the stream is exhausted. */
     bool refillBatch(Node &node);
 
-    /** Place a transaction on the bus: snoop all other nodes, count
-     *  remote copies, transition their states. */
+    /** Place a transaction on its home snoop bus: snoop all other
+     *  nodes, count remote copies, transition their states. While the
+     *  banks are deferred (the batched run() hot loop) the per-node
+     *  filter observation is queued instead of walked — both routes make
+     *  identical coherence state changes. */
     coherence::BusResponse
     broadcast(ProcId requester, coherence::BusOp op, Addr unitAddr);
 
@@ -156,6 +180,12 @@ class SmpSystem
      *  L2 (and victim) bookkeeping. Returns the unit's final L2 state. */
     coherence::State
     fetchUnit(ProcId p, Addr unitAddr, bool forWrite);
+
+    /** The L1-miss tail of processorAccess(): L2 lookup/upgrade/fetch,
+     *  L1 fill, dirty-victim writeback, observer. Entered directly by
+     *  the batched hot loop once accessClassify() reported a miss, so
+     *  the L1 is not probed twice; @p unit is the aligned address. */
+    void missTail(ProcId p, AccessType type, Addr addr, Addr unit);
 
     /** Make room in the WB, then insert a victim. */
     void pushVictim(ProcId p, const mem::L2Victim &victim);
@@ -165,8 +195,12 @@ class SmpSystem
 
     SmpConfig cfg_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    Interconnect interconnect_;
+    std::vector<mem::L2Victim> victimScratch_;  //!< fetchUnit reuse
     SimStats stats_;
     SimObserver *observer_ = nullptr;
+    bool probeObserved_ = false;  //!< any bank has a probe observer
+    bool deferActive_ = false;    //!< run() hot loop: banks are queueing
 };
 
 } // namespace jetty::sim

@@ -164,6 +164,15 @@ SweepRunner::runOne(const SweepJob &job)
     res.totalRefs = res.stats.aggregate().accesses;
     res.traffic = system.mergedTraffic();
 
+    // A sub-batch trace finishes inside the timer's resolution, so a
+    // rate derived from it is noise (historically inf when the elapsed
+    // time rounded to exactly zero). Flag it; refsPerSecond() reports 0.
+    // The documented threshold is one delivery batch *per processor*.
+    const std::uint64_t batch =
+        job.cfg.batchRefs >= 1 ? job.cfg.batchRefs : 1;
+    res.refsTooFewForRate = res.elapsedSeconds <= 0.0 ||
+                            res.totalRefs < batch * job.cfg.nprocs;
+
     const energy::Technology tech = energy::Technology::micron180();
     const auto &bank = system.bank(0);
     res.filterNames.reserve(bank.size());

@@ -81,11 +81,20 @@ struct SweepResult
      *  is independent of it. */
     double elapsedSeconds = 0;
 
-    /** Sustained simulation throughput of this job. */
+    /**
+     * True when the job was too short to rate meaningfully: it retired
+     * fewer references than one delivery batch per processor, or the
+     * wall clock rounded to zero. refsPerSecond() then reports 0
+     * instead of an inf/garbage rate; reporting layers print "-".
+     */
+    bool refsTooFewForRate = false;
+
+    /** Sustained simulation throughput of this job (0 when
+     *  refsTooFewForRate). */
     double
     refsPerSecond() const
     {
-        return elapsedSeconds > 0
+        return !refsTooFewForRate && elapsedSeconds > 0
                    ? static_cast<double>(totalRefs) / elapsedSeconds
                    : 0.0;
     }

@@ -280,10 +280,38 @@ TraceFuzzer::checkOnce(const sim::SmpConfig &system, const TraceSet &traces,
     golden.run();
     const StateSnapshot gsnap = golden.snapshot();
 
+    // The golden machine interleaves the snoop buses with its own
+    // restatement of the routing; per-bus transaction counts must agree
+    // with what the real interconnect routed, for any bus count.
+    const auto compare_buses =
+        [&golden](const sim::SmpSystem &sys,
+                  const char *which) -> std::string {
+        const auto &gbus = golden.busTransactions();
+        const auto &rbus = sys.stats().perBus;
+        if (gbus.size() != rbus.size()) {
+            return std::string("golden-bus-routing: ") + which + " ran " +
+                   std::to_string(rbus.size()) + " buses, golden " +
+                   std::to_string(gbus.size());
+        }
+        for (std::size_t b = 0; b < gbus.size(); ++b) {
+            if (gbus[b] != rbus[b].transactions) {
+                return std::string("golden-bus-routing: ") + which +
+                       " bus " + std::to_string(b) + " carried " +
+                       std::to_string(rbus[b].transactions) +
+                       " transactions, golden " +
+                       std::to_string(gbus[b]);
+            }
+        }
+        return "";
+    };
+
     if (compareGolden) {
         const std::string diff = diffSnapshots(gsnap, snapshotOf(checked));
         if (!diff.empty())
             return "golden-equivalence: " + diff;
+        const std::string bus_diff = compare_buses(checked, "step path");
+        if (!bus_diff.empty())
+            return bus_diff;
     }
 
     // Pass 3: the batched hot path with hooks unset must land on the
@@ -295,13 +323,16 @@ TraceFuzzer::checkOnce(const sim::SmpConfig &system, const TraceSet &traces,
         const std::string diff = diffSnapshots(gsnap, snapshotOf(batched));
         if (!diff.empty())
             return "batched-equivalence: " + diff;
+        const std::string bus_diff = compare_buses(batched, "batched path");
+        if (!bus_diff.empty())
+            return bus_diff;
     }
     return "";
 }
 
 TraceSet
-TraceFuzzer::shrink(const TraceSet &traces,
-                    const std::string &invariant) const
+TraceFuzzer::shrink(const TraceSet &traces, const std::string &invariant,
+                    const sim::SmpConfig &system) const
 {
     // Flatten to (proc, record) items; rebuilding preserves each
     // processor's record order, which is all the round-robin delivery
@@ -331,7 +362,7 @@ TraceFuzzer::shrink(const TraceSet &traces,
             return false;
         ++runs;
         const std::string failure =
-            checkOnce(cfg_.system, rebuild(list), cfg_.auditEvery,
+            checkOnce(system, rebuild(list), cfg_.auditEvery,
                       cfg_.compareGolden, cfg_.checkBatched, nullptr);
         // Only reductions reproducing the *original* invariant count;
         // drifting onto a different violation would leave the repro
@@ -398,9 +429,18 @@ TraceFuzzer::run()
             cfg_.seed + (round + 1) * kSeedMix;
         const TraceSet traces = generate(round_seed, weights);
 
+        // Per-round split-bus draw: cycle the interconnect through one,
+        // two and four buses so routing, per-bus replay order and the
+        // bus-count differential all get continuous coverage. Derived
+        // from the round seed alone, so (seed, round) still pins the
+        // exact machine; the failing round's count rides the sidecar.
+        sim::SmpConfig round_system = cfg_.system;
+        if (cfg_.randomizeBuses)
+            round_system.snoopBuses = 1u << (round_seed % 3);
+
         const std::size_t covered_before = result.coverage.cellsCovered();
         const std::string failure =
-            checkOnce(cfg_.system, traces, cfg_.auditEvery,
+            checkOnce(round_system, traces, cfg_.auditEvery,
                       cfg_.compareGolden, cfg_.checkBatched,
                       &result.coverage);
         ++result.roundsRun;
@@ -410,17 +450,18 @@ TraceFuzzer::run()
             result.failed = true;
             result.failingRound = round;
             result.roundSeed = round_seed;
+            result.snoopBuses = round_system.snoopBuses;
             const auto colon = failure.find(':');
             result.invariant = failure.substr(0, colon);
             result.detail = colon == std::string::npos
                                 ? ""
                                 : trim(failure.substr(colon + 1));
-            result.traces = shrink(traces, result.invariant);
+            result.traces = shrink(traces, result.invariant, round_system);
             // Refresh the detail from the shrunk trace (addresses and
             // counts usually change during reduction) so the repro
             // header describes exactly what the shipped trace shows.
             const std::string final_failure =
-                checkOnce(cfg_.system, result.traces, cfg_.auditEvery,
+                checkOnce(round_system, result.traces, cfg_.auditEvery,
                           cfg_.compareGolden, cfg_.checkBatched, nullptr);
             const auto final_colon = final_failure.find(':');
             if (final_colon != std::string::npos &&
@@ -485,6 +526,7 @@ writeRepro(const std::string &path, const FuzzResult &result,
                  "invariant=%s\n"
                  "detail=%s\n"
                  "nprocs=%u\n"
+                 "snoop_buses=%u\n"
                  "l1=%llu/%u/%u\n"
                  "l2=%llu/%u/%u/%u\n"
                  "wb_entries=%u\n"
@@ -495,7 +537,7 @@ writeRepro(const std::string &path, const FuzzResult &result,
                  result.failingRound,
                  static_cast<unsigned long long>(result.roundSeed),
                  result.invariant.c_str(), detail.c_str(),
-                 system.nprocs,
+                 system.nprocs, result.snoopBuses,
                  static_cast<unsigned long long>(system.l1.sizeBytes),
                  system.l1.assoc, system.l1.blockBytes,
                  static_cast<unsigned long long>(system.l2.sizeBytes),
@@ -556,6 +598,12 @@ readReproConfig(const std::string &path, sim::SmpConfig &out)
         if (key == "nprocs" && parseUnsigned(val, u)) {
             cfg.nprocs = u;
             seen |= KeyNprocs;
+        } else if (key == "snoop_buses" && parseUnsigned(val, u) &&
+                   u >= 1) {
+            // Optional (absent in pre-interconnect sidecars, which must
+            // keep replaying): the bus count never changes machine
+            // state, only routing attribution and filter replay order.
+            cfg.snoopBuses = u;
         } else if (key == "wb_entries" && parseUnsigned(val, u)) {
             cfg.wbEntries = u;
             seen |= KeyWb;

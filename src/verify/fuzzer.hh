@@ -87,6 +87,15 @@ struct FuzzConfig
      *  bank panicking. */
     sim::SmpConfig system = defaultSystem();
 
+    /**
+     * Draw the split interconnect's bus count per round from {1, 2, 4}
+     * (deterministically from the round seed), so one campaign
+     * exercises the classic bus, both split configurations, and the
+     * per-bus deferred filter replay. When false every round runs
+     * system.snoopBuses as given (the CLI's --buses sets this).
+     */
+    bool randomizeBuses = true;
+
     std::uint64_t auditEvery = 512;  //!< global audit cadence (refs)
     bool compareGolden = true;       //!< step-path vs golden final state
     bool checkBatched = true;        //!< batched run() vs golden
@@ -105,6 +114,7 @@ struct FuzzResult
     std::uint64_t seed = 0;       //!< the campaign seed (repro header)
     unsigned failingRound = 0;
     std::uint64_t roundSeed = 0;  //!< generator seed of the failing round
+    unsigned snoopBuses = 1;      //!< bus count of the failing round
     TraceSet traces;              //!< shrunk failing traces (when failed)
 
     unsigned roundsRun = 0;
@@ -147,11 +157,13 @@ class TraceFuzzer
     /**
      * Delta-debug @p traces down to a (1-minimal up to the run budget)
      * record set for which checkOnce still fails *with the same
-     * invariant* — a candidate that trips a different invariant is not
-     * accepted, so the shrunk repro reproduces what its header claims.
+     * invariant* on @p system (the failing round's machine, including
+     * its bus count) — a candidate that trips a different invariant is
+     * not accepted, so the shrunk repro reproduces what its header
+     * claims.
      */
-    TraceSet shrink(const TraceSet &traces,
-                    const std::string &invariant) const;
+    TraceSet shrink(const TraceSet &traces, const std::string &invariant,
+                    const sim::SmpConfig &system) const;
 
   private:
     FuzzConfig cfg_;

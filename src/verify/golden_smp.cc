@@ -72,6 +72,9 @@ GoldenSmp::GoldenSmp(const sim::SmpConfig &cfg) : cfg_(cfg)
     subblockBits_ =
         cfg.l2.subblocks == 1 ? 0 : floorLog2(cfg.l2.subblocks);
 
+    if (cfg.snoopBuses < 1)
+        fatal("GoldenSmp: need at least one snoop bus");
+    busTransactions_.assign(cfg.snoopBuses, 0);
     procs_.resize(cfg.nprocs);
 }
 
@@ -195,6 +198,12 @@ GoldenSmp::dropL1(Proc &n, Addr unit)
 unsigned
 GoldenSmp::broadcast(ProcId requester, BusOp op, Addr unit)
 {
+    // Independently restated split-bus interleave: a unit's home bus is
+    // its L2 block index (integer division, not the interconnect's
+    // shift) modulo the configured bus count. The routing never changes
+    // what is broadcast — it only attributes the transaction.
+    ++busTransactions_[(unit / cfg_.l2.blockBytes) % cfg_.snoopBuses];
+
     unsigned remote_copies = 0;
     for (unsigned q = 0; q < procs_.size(); ++q) {
         if (q == requester)

@@ -98,6 +98,19 @@ class GoldenSmp
      *  per-block global state view the invariant catalogue audits. */
     std::vector<coherence::State> globalUnitState(Addr unitAddr) const;
 
+    /**
+     * Transactions the golden machine routed to each logical snoop bus,
+     * using its own restatement of the address interleave (block index
+     * by integer division, modulo the configured snoopBuses). The real
+     * system's SimStats::perBus transaction counts must match this
+     * exactly for any bus count — the differential check that the
+     * split interconnect routes without changing what is broadcast.
+     */
+    const std::vector<std::uint64_t> &busTransactions() const
+    {
+        return busTransactions_;
+    }
+
     /** The configuration the machine was built with. */
     const sim::SmpConfig &config() const { return cfg_; }
 
@@ -168,6 +181,7 @@ class GoldenSmp
     sim::SmpConfig cfg_;
     std::vector<Proc> procs_;
     std::uint64_t references_ = 0;
+    std::vector<std::uint64_t> busTransactions_;
 
     std::uint64_t unitMask_ = 0;
     std::uint64_t blockMask_ = 0;

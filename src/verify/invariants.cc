@@ -143,10 +143,46 @@ CheckerSuite::onReference(ProcId, AccessType, Addr)
 }
 
 void
+CheckerSuite::onBusTransaction(ProcId, coherence::BusOp op, Addr unitAddr,
+                               unsigned, unsigned busId)
+{
+    // Bus routing, restated independently of sim/interconnect.hh: the
+    // home bus of a unit is its L2 block index modulo the bus count
+    // (integer division on the configuration, no shifts shared with the
+    // code under test).
+    const auto &cfg = sys_.config();
+    const unsigned expected = static_cast<unsigned>(
+        (unitAddr / cfg.l2.blockBytes) % cfg.snoopBuses);
+    if (busId != expected) {
+        log_.report("bus-routing",
+                    std::string(coherence::busOpName(op)) + " for unit " +
+                        hexAddr(unitAddr) + " rode bus " +
+                        std::to_string(busId) + ", home bus is " +
+                        std::to_string(expected) + " of " +
+                        std::to_string(cfg.snoopBuses));
+    }
+}
+
+void
 CheckerSuite::onSnoop(const sim::SnoopEvent &ev)
 {
     coverage_.snoopCells[static_cast<int>(ev.before)]
                         [static_cast<int>(ev.op)]++;
+
+    {
+        // Same independent routing restatement for the per-target view:
+        // every snoop of unit U must arrive on U's home bus.
+        const auto &cfg = sys_.config();
+        const unsigned expected = static_cast<unsigned>(
+            (ev.unitAddr / cfg.l2.blockBytes) % cfg.snoopBuses);
+        if (ev.busId != expected) {
+            log_.report("bus-routing",
+                        "snoop of " + hexAddr(ev.unitAddr) +
+                            " on proc " + std::to_string(ev.target) +
+                            " rode bus " + std::to_string(ev.busId) +
+                            ", home bus is " + std::to_string(expected));
+        }
+    }
     if (ev.wbHit)
         ++coverage_.wbHits;
     if (ev.supplied)

@@ -18,6 +18,11 @@
  *  - **Snoop-side inclusion**: whenever a snoop invalidates a unit or
  *    strips its exclusivity, the target's L1 must no longer hold the
  *    line.
+ *  - **Bus routing**: on the split snoop interconnect every snoop and
+ *    every transaction for unit U must appear on U's home bus — an
+ *    independently restated interleave (division/modulo over the
+ *    configuration, not the Interconnect's shift) recomputes the
+ *    expected bus for every observed event.
  *  - **Global single-writer / single-owner** (periodic audit): across
  *    all L2s and write-back buffers, a unit has at most one M or E copy
  *    (and then no other copies), and at most one O copy.
@@ -145,6 +150,9 @@ class CheckerSuite : public sim::SimObserver,
     // SimObserver
     void onReference(ProcId p, AccessType type, Addr addr) override;
     void onSnoop(const sim::SnoopEvent &ev) override;
+    void onBusTransaction(ProcId requester, coherence::BusOp op,
+                          Addr unitAddr, unsigned remoteCopies,
+                          unsigned busId) override;
 
     // FilterProbeObserver
     void onFilterProbe(const filter::FilterProbeEvent &ev) override;

@@ -59,6 +59,14 @@ lockstepCompare(const sim::SmpConfig &cfg, std::uint64_t refs,
         }
     }
     EXPECT_EQ(diffSnapshots(golden.snapshot(), snapshotOf(sys)), "");
+
+    // The golden machine routes with its own restatement of the split
+    // interconnect's interleave: per-bus transaction counts must agree
+    // for any bus count (trivially so at one bus).
+    const auto &gbus = golden.busTransactions();
+    ASSERT_EQ(gbus.size(), sys.stats().perBus.size());
+    for (std::size_t b = 0; b < gbus.size(); ++b)
+        EXPECT_EQ(gbus[b], sys.stats().perBus[b].transactions) << b;
 }
 
 } // namespace
@@ -103,6 +111,18 @@ TEST(GoldenSmp, WritebackReclaimAfterRemoteReadStaysCoherent)
     EXPECT_EQ(diffSnapshots(golden.snapshot(), snapshotOf(sys)), "");
 }
 
+TEST(GoldenSmp, SplitBusLockstepAgreesAndRoutesIdentically)
+{
+    // snoopBuses in {2, 4}: the machine state must stay bit-exact
+    // against the golden model (the interleave never changes coherence)
+    // and the independently restated per-bus routing must agree.
+    for (const unsigned buses : {2u, 4u}) {
+        sim::SmpConfig cfg = smallConfig();
+        cfg.snoopBuses = buses;
+        lockstepCompare(cfg, 20000, 11 + buses, 1000);
+    }
+}
+
 TEST(Differential, MillionReferenceFuzzedRunMatchesGoldenBitExactly)
 {
     // The acceptance anchor: a 1M-reference adversarial 4-processor run
@@ -138,6 +158,123 @@ TEST(Differential, MillionReferenceFuzzedRunMatchesGoldenBitExactly)
 
     EXPECT_EQ(golden.references(), total);
     EXPECT_EQ(diffSnapshots(golden.snapshot(), snapshotOf(batched)), "");
+}
+
+TEST(Differential, MillionReferenceSplitBusRunsStayBitExact)
+{
+    // The split-bus acceptance anchor: the same 1M-reference adversarial
+    // trace set replayed through the batched hot path at 2 and 4 buses
+    // must land on exactly the golden machine state (the bus count never
+    // changes coherence), route per bus exactly as the golden model's
+    // independent interleave says, keep every architectural counter
+    // bit-identical to the single-bus run, and filter nothing unsafely
+    // under the bus-major deferred replay.
+    FuzzConfig cfg;
+    cfg.refsPerProc = 250'000;  // x4 processors = 1M references
+    TraceFuzzer fuzzer(cfg);
+    std::array<double, kPatternCount> weights;
+    weights.fill(1.0);
+    const TraceSet traces = fuzzer.generate(cfg.seed, weights);
+
+    const auto sources = [&traces] {
+        std::vector<trace::TraceSourcePtr> s;
+        for (const auto &t : traces)
+            s.push_back(std::make_unique<trace::VectorTraceSource>(t));
+        return s;
+    };
+
+    sim::SmpConfig one_cfg = cfg.system;
+    one_cfg.snoopBuses = 1;
+    sim::SmpSystem one_bus(one_cfg);
+    one_bus.attachSources(sources());
+    one_bus.run();
+    const auto one_agg = one_bus.stats().aggregate();
+
+    for (const unsigned buses : {2u, 4u}) {
+        sim::SmpConfig bus_cfg = cfg.system;
+        bus_cfg.snoopBuses = buses;
+
+        sim::SmpSystem batched(bus_cfg);
+        batched.attachSources(sources());
+        batched.run();
+
+        GoldenSmp golden(bus_cfg);
+        golden.attachSources(sources());
+        golden.run();
+
+        EXPECT_EQ(diffSnapshots(golden.snapshot(), snapshotOf(batched)),
+                  "")
+            << buses << " buses";
+
+        const auto &gbus = golden.busTransactions();
+        ASSERT_EQ(gbus.size(), buses);
+        std::uint64_t routed = 0;
+        for (std::size_t b = 0; b < buses; ++b) {
+            EXPECT_EQ(gbus[b], batched.stats().perBus[b].transactions)
+                << "bus " << b << " of " << buses;
+            routed += batched.stats().perBus[b].transactions;
+        }
+        EXPECT_EQ(routed, batched.stats().snoopTransactions);
+
+        const auto agg = batched.stats().aggregate();
+        EXPECT_EQ(agg.accesses, one_agg.accesses);
+        EXPECT_EQ(agg.l1Hits, one_agg.l1Hits);
+        EXPECT_EQ(agg.snoopTagProbes, one_agg.snoopTagProbes);
+        EXPECT_EQ(agg.snoopMisses, one_agg.snoopMisses);
+        EXPECT_EQ(agg.busReads, one_agg.busReads);
+        EXPECT_EQ(agg.busUpgrades, one_agg.busUpgrades);
+        EXPECT_EQ(agg.wbInsertions, one_agg.wbInsertions);
+        EXPECT_EQ(batched.stats().snoopTransactions,
+                  one_bus.stats().snoopTransactions);
+
+        // The bus-major deferred replay must stay safe for every family
+        // (the per-structure orderings the interleave preserves).
+        for (std::size_t f = 0; f < batched.bank(0).size(); ++f) {
+            EXPECT_EQ(batched.mergedFilterStats(f).safetyViolations, 0u)
+                << batched.bank(0).filterAt(f).name() << " at " << buses
+                << " buses";
+        }
+    }
+}
+
+TEST(Differential, MillionReferenceCampaignWithRandomizedBusesIsClean)
+{
+    // The checklist's fuzzed campaign: >= 1M references across rounds
+    // whose bus counts cycle through 1/2/4 (FuzzConfig::randomizeBuses,
+    // on by default), each round step-checked with the full invariant
+    // suite (including bus routing), golden-compared and
+    // batched-compared.
+    FuzzConfig cfg;
+    cfg.rounds = 13;
+    cfg.refsPerProc = 20'000;  // 13 x 20k x 4 procs > 1M references
+    const FuzzResult result = TraceFuzzer(cfg).run();
+    EXPECT_FALSE(result.failed) << result.invariant << ": "
+                                << result.detail;
+    EXPECT_EQ(result.roundsRun, 13u);
+    EXPECT_GE(result.totalRefs, 1'000'000u);
+}
+
+TEST(CheckerSuite, BusRoutingViolationIsCaught)
+{
+    // White-box: hand the checker a snoop event carrying the wrong bus
+    // id; the independently restated interleave must flag it.
+    sim::SmpConfig cfg = smallConfig();
+    cfg.snoopBuses = 2;
+    cfg.checkSafety = false;
+    sim::SmpSystem sys(cfg);
+    CheckerSuite suite(sys, 0);
+
+    sim::SnoopEvent ev;
+    ev.requester = 0;
+    ev.target = 1;
+    ev.op = coherence::BusOp::BusRead;
+    ev.unitAddr = 0x40000;  // block index even => home bus 0
+    ev.before = State::Invalid;
+    ev.after = State::Invalid;
+    ev.busId = 1;  // wrong on purpose
+    suite.onSnoop(ev);
+    ASSERT_FALSE(suite.log().clean());
+    EXPECT_EQ(suite.log().violations().front().invariant, "bus-routing");
 }
 
 TEST(Differential, FuzzCampaignIsCleanAndCovers)
@@ -307,6 +444,7 @@ TEST(Differential, BrokenFilterIsCaughtAndShrunkToSmallRepro)
     EXPECT_EQ(restored.l2.sizeBytes, cfg.system.l2.sizeBytes);
     EXPECT_EQ(restored.l2.subblocks, cfg.system.l2.subblocks);
     EXPECT_EQ(restored.wbEntries, cfg.system.wbEntries);
+    EXPECT_EQ(restored.snoopBuses, result.snoopBuses);
     EXPECT_NE(TraceFuzzer::checkOnce(restored, reloaded, cfg.auditEvery,
                                      false, false, nullptr),
               "");

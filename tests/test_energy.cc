@@ -108,6 +108,67 @@ TEST(CacheGeometry, TagBits)
     EXPECT_EQ(g.unitBytes(), 32u);
 }
 
+TEST(CacheGeometryDeathTest, ZeroSetGeometryIsRejectedDescriptively)
+{
+    // The silent-truncation trap: a capacity below one full set used to
+    // integer-divide to zero sets and divide by zero downstream. It
+    // must now fail at model construction with a descriptive error.
+    CacheGeometry geom;
+    geom.sizeBytes = 128;  // < blockBytes * assoc below
+    geom.blockBytes = 64;
+    geom.assoc = 4;
+    EXPECT_EXIT(CacheEnergyModel{geom}, ::testing::ExitedWithCode(1),
+                "zero sets");
+}
+
+TEST(CacheGeometryDeathTest, TruncatingSetCountIsRejected)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 1000;  // not a multiple of 64 * 1
+    geom.blockBytes = 64;
+    geom.assoc = 1;
+    EXPECT_EXIT(CacheEnergyModel{geom}, ::testing::ExitedWithCode(1),
+                "truncate");
+}
+
+TEST(CacheGeometryDeathTest, NonPowerOfTwoSetCountIsRejected)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 3 * 64;  // 3 sets
+    geom.blockBytes = 64;
+    geom.assoc = 1;
+    EXPECT_EXIT(CacheEnergyModel{geom}, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(CacheGeometryDeathTest, ZeroFieldsAndBadSubblocksRejected)
+{
+    CacheGeometry zero_assoc;
+    zero_assoc.assoc = 0;
+    EXPECT_EXIT(CacheEnergyModel{zero_assoc},
+                ::testing::ExitedWithCode(1), "non-zero");
+
+    CacheGeometry bad_sub;
+    bad_sub.subblocks = 3;  // does not divide 64
+    EXPECT_EXIT(CacheEnergyModel{bad_sub}, ::testing::ExitedWithCode(1),
+                "evenly divide");
+}
+
+TEST(CacheGeometry, SingleSetOrganizationIsValid)
+{
+    // sizeBytes == blockBytes * assoc is one (fully associative) set —
+    // legal, and the model must build without tripping validation.
+    CacheGeometry geom;
+    geom.sizeBytes = 64 * 4;
+    geom.blockBytes = 64;
+    geom.assoc = 4;
+    geom.subblocks = 2;
+    ASSERT_EQ(geom.sets(), 1u);
+    const CacheEnergyModel model(geom);
+    EXPECT_GT(model.energies().tagRead, 0.0);
+    EXPECT_GT(model.energies().dataReadUnit, 0.0);
+}
+
 TEST(CacheEnergyModel, AllEnergiesPositive)
 {
     CacheGeometry g;
@@ -307,6 +368,37 @@ TEST(Accountant, UpdateCostsCharged)
     const auto with = acc.withFilter(t, AccessMode::Serial, f, costs);
     EXPECT_NEAR(with.filterEnergy, 100 * 1e-12 + 50 * 2e-12 + 10 * 3e-12,
                 1e-20);
+}
+
+TEST(Accountant, PerBusSnoopEnergyIsAnExactDecomposition)
+{
+    CacheGeometry geom;
+    const CacheEnergyModel model(geom);
+    const EnergyAccountant accountant(model);
+
+    // A run whose snoop probes were routed over four buses.
+    const std::vector<std::uint64_t> per_bus = {4000, 3000, 2000, 1000};
+    L2Traffic t;
+    t.snoopTagProbes = 10000;  // == sum(per_bus)
+
+    for (const auto mode : {AccessMode::Serial, AccessMode::Parallel}) {
+        const auto split = accountant.perBusSnoopEnergy(per_bus, mode);
+        ASSERT_EQ(split.size(), per_bus.size());
+        double total = 0;
+        for (std::size_t b = 0; b < split.size(); ++b) {
+            EXPECT_GT(split[b], 0.0) << b;
+            total += split[b];
+        }
+        // The per-bus split sums exactly to the probe share of the
+        // baseline snoop energy (the remaining snoop terms — state
+        // updates, supplies — are not probe-routed).
+        L2Traffic probes_only;
+        probes_only.snoopTagProbes = t.snoopTagProbes;
+        const auto base = accountant.baseline(probes_only, mode);
+        EXPECT_NEAR(total, base.snoopEnergy, base.snoopEnergy * 1e-12);
+        // Shares scale with occupancy.
+        EXPECT_NEAR(split[0], 4.0 * split[3], split[0] * 1e-9);
+    }
 }
 
 TEST(Accountant, TrafficMerge)

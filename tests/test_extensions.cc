@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/filter_spec.hh"
 #include "core/region_filter.hh"
 #include "sim/latency.hh"
@@ -174,4 +176,61 @@ TEST(LatencyModel, BreakEvenCoverage)
         1000.0 * p.jettyCycles / p.l2TagCycles);
     const auto impact = sim::evaluateLatency(stats, p);
     EXPECT_NEAR(impact.meanChangePct(), 0.0, 0.5);
+}
+
+namespace
+{
+
+/** A synthetic run: @p refs per processor, @p txns spread evenly over
+ *  @p buses. */
+sim::SimStats
+contentionStats(unsigned nprocs, unsigned buses, std::uint64_t refs,
+                std::uint64_t txns)
+{
+    sim::SimStats stats(nprocs, buses);
+    for (auto &proc : stats.procs)
+        proc.accesses = refs;
+    for (unsigned b = 0; b < buses; ++b)
+        stats.perBus[b].transactions = txns / buses;
+    stats.snoopTransactions = txns;
+    return stats;
+}
+
+} // namespace
+
+TEST(LatencyModel, SplittingTheBusDividesContention)
+{
+    // The same transaction load over one vs four buses: utilization and
+    // the M/D/1 wait must fall with the bus count.
+    sim::LatencyParams p;
+    const auto one =
+        sim::evaluateBusContention(contentionStats(4, 1, 600'000,
+                                                   60'000), p);
+    const auto four =
+        sim::evaluateBusContention(contentionStats(4, 4, 600'000,
+                                                   60'000), p);
+    EXPECT_GT(one.busiestUtilization, 0.0);
+    EXPECT_NEAR(four.busiestUtilization, one.busiestUtilization / 4.0,
+                1e-9);
+    EXPECT_LT(four.busiestWaitBusCycles, one.busiestWaitBusCycles);
+    EXPECT_FALSE(one.saturated);
+    EXPECT_FALSE(four.saturated);
+}
+
+TEST(LatencyModel, ContentionSaturationIsFlaggedAndFinite)
+{
+    // More bus occupancy than bus cycles: the model must flag
+    // saturation and still report finite numbers.
+    sim::LatencyParams p;
+    const auto sat =
+        sim::evaluateBusContention(contentionStats(4, 1, 60'000,
+                                                   60'000), p);
+    EXPECT_TRUE(sat.saturated);
+    EXPECT_GE(sat.busiestUtilization, 1.0);
+    EXPECT_TRUE(std::isfinite(sat.busiestWaitBusCycles));
+
+    // Degenerate inputs: no buses recorded, or an empty run.
+    EXPECT_EQ(sim::evaluateBusContention(sim::SimStats(0, 1), p)
+                  .busiestUtilization,
+              0.0);
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "experiments/experiments.hh"
@@ -263,6 +264,66 @@ TEST(RunCacheTest, MergedResultsIdenticalForAnyJobsCount)
         EXPECT_EQ(serial[i].traffic.allTagAccesses(),
                   parallel[i].traffic.allTagAccesses());
     }
+}
+
+TEST(SweepRunner, TinyTraceReportsNoRateInsteadOfGarbage)
+{
+    // A job shorter than one delivery batch finishes inside the timer's
+    // resolution; historically refs/sec then reported inf (elapsed
+    // rounded to 0). It must instead flag refsTooFewForRate and report
+    // a rate of exactly 0.
+    const std::string path =
+        ::testing::TempDir() + "jetty_tiny_trace.jtt";
+    std::vector<trace::TraceRecord> recs;
+    for (int i = 0; i < 3; ++i)
+        recs.push_back({AccessType::Read, 0x1000u + 32u * i});
+    trace::writeTraceFile(path, recs);
+
+    SystemVariant variant;
+    sim::SweepJob job;
+    job.cfg = variant.smpConfig();
+    job.cfg.filterSpecs = {"NULL"};
+    job.traceFiles = {path};  // 3 records cloned onto every processor
+
+    const auto res = sim::SweepRunner::runOne(job);
+    EXPECT_EQ(res.totalRefs, 3u * job.cfg.nprocs);
+    EXPECT_LT(res.totalRefs, job.cfg.batchRefs);
+    EXPECT_TRUE(res.refsTooFewForRate);
+    EXPECT_EQ(res.refsPerSecond(), 0.0);
+    EXPECT_FALSE(std::isinf(res.refsPerSecond()));
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunner, SplitBusJobCarriesPerBusStats)
+{
+    SystemVariant variant;
+    variant.snoopBuses = 4;
+    sim::SweepJob job;
+    job.app = trace::appByName("lu");
+    job.cfg = variant.smpConfig();
+    job.cfg.filterSpecs = {"NULL"};
+    job.accessScale = 0.01;
+
+    const auto res = sim::SweepRunner::runOne(job);
+    ASSERT_EQ(res.stats.perBus.size(), 4u);
+    std::uint64_t txns = 0;
+    for (const auto &bus : res.stats.perBus)
+        txns += bus.transactions;
+    EXPECT_EQ(txns, res.stats.snoopTransactions);
+    EXPECT_GT(txns, 0u);
+
+    // The same job through the experiment layer keys the cache by the
+    // bus count: a different snoopBuses is a different simulation.
+    RunCache::instance().clear();
+    RunRequest req;
+    req.app = job.app;
+    req.variant = variant;
+    req.filterSpecs = {"NULL"};
+    req.accessScale = 0.01;
+    RunRequest req1 = req;
+    req1.variant.snoopBuses = 1;
+    experiments::runMany({req, req1});
+    EXPECT_EQ(RunCache::instance().simulations(), 2u);
 }
 
 TEST(SweepRunner, ReportsPerJobThroughput)

@@ -5,11 +5,14 @@
  * and energy tables, or capture/replay binary traces.
  *
  * Usage:
- *   jetty_cli run     [--app NAME] [--procs N] [--no-subblock]
- *                     [--scale F] [--filters SPEC[,SPEC...]]
- *   jetty_cli sweep   [--apps NAME[,NAME...]|all] [--procs N[,M...]]
- *                     [--no-subblock] [--scale F] [--jobs N]
+ *   jetty_cli run     [--app NAME] [--procs N] [--buses N]
+ *                     [--no-subblock] [--scale F]
  *                     [--filters SPEC[,SPEC...]]
+ *   jetty_cli sweep   [--apps NAME[,NAME...]|all] [--procs N[,M...]]
+ *                     [--buses N[,M...]] [--no-subblock] [--scale F]
+ *                     [--jobs N] [--filters SPEC[,SPEC...]]
+ *                     (--buses adds the split-interconnect axis to the
+ *                     cross-product: every (app, procs, buses) cell)
  *   jetty_cli apps
  *   jetty_cli filters
  *   jetty_cli capture --app NAME --out FILE [--procs N] [--scale F]
@@ -25,13 +28,16 @@
  *                     or one single-section file cloned everywhere;
  *                     streamed and cached by content digest)
  *   jetty_cli bench   [--app NAME | --in FILE[,FILE...]] [--procs N]
- *                     [--scale F] [--filters SPEC[,...]] [--batch N]
- *                     [--repeat K] [--json FILE]
+ *                     [--buses N] [--scale F] [--filters SPEC[,...]]
+ *                     [--batch N] [--repeat K] [--json FILE]
  *                     (sustained refs/sec of the batched delivery
  *                     pipeline; best of K cold runs, optional JSON)
  *   jetty_cli fuzz    [--seed N] [--rounds N] [--refs N] [--procs N]
- *                     [--filters SPEC[,...]] [--seconds S] [--smoke]
- *                     [--audit-every N] [--out FILE] [--repro FILE]
+ *                     [--buses N] [--filters SPEC[,...]] [--seconds S]
+ *                     [--smoke] [--audit-every N] [--out FILE]
+ *                     [--repro FILE]
+ *                     (--buses pins the split interconnect; without it
+ *                     rounds cycle snoopBuses through 1/2/4)
  *                     (coverage-guided differential fuzzing: online
  *                     invariant checkers + golden-model and batched
  *                     state equivalence; failures are shrunk and
@@ -137,11 +143,29 @@ filterList(const std::map<std::string, std::string> &opts)
     } else {
         specs = splitSpecs(it->second);
     }
+    // Every subcommand funnels its --filters through here, so an
+    // invalid spec always reports through the registry's
+    // describeFailure() (naming the offending token and its family's
+    // grammar) and exits non-zero via fatal() — no path prints a bare
+    // message or falls through with exit 0 (cli negative-path test).
     for (const auto &s : specs) {
         if (!filter::isValidFilterSpec(s))
             fatal(filter::FilterRegistry::instance().describeFailure(s));
     }
     return specs;
+}
+
+/** Parse a single --buses option (>= 1); @p fallback when absent. */
+unsigned
+busCount(const std::map<std::string, std::string> &opts, unsigned fallback)
+{
+    const auto it = opts.find("buses");
+    if (it == opts.end())
+        return fallback;
+    unsigned v = 0;
+    if (!parseUnsigned(it->second, v) || v < 1)
+        fatal("--buses needs a count >= 1, got '" + it->second + "'");
+    return v;
 }
 
 void
@@ -188,6 +212,7 @@ cmdRun(const std::map<std::string, std::string> &opts)
     if (opts.count("procs"))
         variant.nprocs = static_cast<unsigned>(
             std::atoi(opts.at("procs").c_str()));
+    variant.snoopBuses = busCount(opts, 1);
     if (opts.count("no-subblock"))
         variant.subblocked = false;
 
@@ -204,6 +229,41 @@ cmdRun(const std::map<std::string, std::string> &opts)
     const auto run = experiments::runApp(trace::appByName(app), variant,
                                          specs, scale);
     printRunReport(run, variant, specs);
+
+    if (variant.snoopBuses > 1) {
+        // The split-interconnect view: per-bus occupancy, the latency
+        // model's contention term, and the accountant's exact per-bus
+        // snoop-energy decomposition.
+        const auto contention = sim::evaluateBusContention(run.stats);
+        const energy::CacheEnergyModel model(variant.l2EnergyGeometry());
+        const energy::EnergyAccountant accountant(model);
+        const auto bus_energy = accountant.perBusSnoopEnergy(
+            run.stats.busSnoopTagProbes, energy::AccessMode::Serial);
+        double total_energy = 0;
+        for (const double e : bus_energy)
+            total_energy += e;
+
+        std::printf("\ninterconnect: %u buses, busiest %.1f%% utilized "
+                    "(mean %.1f%%), M/D/1 wait %.2f bus cycles%s\n",
+                    variant.snoopBuses,
+                    100.0 * contention.busiestUtilization,
+                    100.0 * contention.meanUtilization,
+                    contention.busiestWaitBusCycles,
+                    contention.saturated ? " [saturated]" : "");
+        for (std::size_t b = 0; b < run.stats.perBus.size(); ++b) {
+            const auto &bus = run.stats.perBus[b];
+            std::printf("  bus %zu: %llu txns (%llu rd, %llu rdX, "
+                        "%llu upg), %.1f%% of snoop probe energy\n",
+                        b,
+                        static_cast<unsigned long long>(bus.transactions),
+                        static_cast<unsigned long long>(bus.reads),
+                        static_cast<unsigned long long>(bus.readXs),
+                        static_cast<unsigned long long>(bus.upgrades),
+                        total_energy > 0
+                            ? 100.0 * bus_energy[b] / total_energy
+                            : 0.0);
+        }
+    }
     return 0;
 }
 
@@ -249,6 +309,20 @@ cmdSweep(const std::map<std::string, std::string> &opts)
         proc_counts = {4};
     }
 
+    // The split-interconnect axis: every (app, procs) pair runs once
+    // per requested bus count.
+    std::vector<unsigned> bus_counts;
+    if (opts.count("buses")) {
+        for (const auto &n : split(opts.at("buses"), ',')) {
+            unsigned v = 0;
+            if (!parseUnsigned(trim(n), v) || v < 1)
+                fatal("--buses needs counts >= 1, got '" + trim(n) + "'");
+            bus_counts.push_back(v);
+        }
+    } else {
+        bus_counts = {1};
+    }
+
     // Results carry canonical filter names ("null" -> "NULL"), so
     // canonicalize the requested specs before using them as lookup keys
     // and column headers.
@@ -263,17 +337,20 @@ cmdSweep(const std::map<std::string, std::string> &opts)
 
     std::vector<experiments::RunRequest> requests;
     for (unsigned nprocs : proc_counts) {
-        experiments::SystemVariant variant;
-        variant.nprocs = nprocs;
-        if (opts.count("no-subblock"))
-            variant.subblocked = false;
-        for (const auto &app : apps) {
-            experiments::RunRequest req;
-            req.app = app;
-            req.variant = variant;
-            req.filterSpecs = specs;
-            req.accessScale = scale;
-            requests.push_back(std::move(req));
+        for (unsigned buses : bus_counts) {
+            experiments::SystemVariant variant;
+            variant.nprocs = nprocs;
+            variant.snoopBuses = buses;
+            if (opts.count("no-subblock"))
+                variant.subblocked = false;
+            for (const auto &app : apps) {
+                experiments::RunRequest req;
+                req.app = app;
+                req.variant = variant;
+                req.filterSpecs = specs;
+                req.accessScale = scale;
+                requests.push_back(std::move(req));
+            }
         }
     }
 
@@ -288,7 +365,8 @@ cmdSweep(const std::map<std::string, std::string> &opts)
         experiments::RunCache::instance().simulations() - sims_before;
 
     TextTable table;
-    std::vector<std::string> head{"app", "procs", "snoopMiss%", "Mrefs/s"};
+    std::vector<std::string> head{"app", "procs", "buses", "snoopMiss%",
+                                  "Mrefs/s"};
     for (const auto &s : specs)
         head.push_back(s);
     table.header(head);
@@ -299,8 +377,9 @@ cmdSweep(const std::map<std::string, std::string> &opts)
         std::vector<std::string> row{
             run.abbrev,
             std::to_string(requests[i].variant.nprocs),
+            std::to_string(requests[i].variant.snoopBuses),
             TextTable::pct(percent(agg.snoopMisses, agg.snoopTagProbes)),
-            run.simSeconds > 0
+            !run.refsTooFewForRate && run.simSeconds > 0
                 ? TextTable::num(run.totalRefs / 1e6 / run.simSeconds, 1)
                 : std::string("-"),
         };
@@ -524,6 +603,7 @@ cmdBench(const std::map<std::string, std::string> &opts)
         fatal("bench --repeat needs a count >= 1");
     }
     const auto specs = filterList(opts);
+    variant.snoopBuses = busCount(opts, 1);
 
     sim::SmpConfig cfg = variant.smpConfig();
     cfg.filterSpecs = specs;
@@ -571,9 +651,11 @@ cmdBench(const std::map<std::string, std::string> &opts)
     }
     const double best = *std::min_element(seconds.begin(), seconds.end());
 
-    std::printf("bench %s: %u procs, %zu filters, batch %u, %.2fM refs\n",
-                name.c_str(), cfg.nprocs, specs.size(), cfg.batchRefs,
-                refs / 1e6);
+    std::printf("bench %s: %u procs, %u bus%s, %zu filters, batch %u, "
+                "%.2fM refs\n",
+                name.c_str(), cfg.nprocs, cfg.snoopBuses,
+                cfg.snoopBuses == 1 ? "" : "es", specs.size(),
+                cfg.batchRefs, refs / 1e6);
     for (unsigned r = 0; r < repeat; ++r) {
         std::printf("  run %u: %.3f s  (%.1f Mrefs/s)\n", r + 1,
                     seconds[r], refs / 1e6 / seconds[r]);
@@ -590,6 +672,7 @@ cmdBench(const std::map<std::string, std::string> &opts)
                      "  \"bench\": \"jetty_cli\",\n"
                      "  \"workload\": \"%s\",\n"
                      "  \"procs\": %u,\n"
+                     "  \"snoop_buses\": %u,\n"
                      "  \"batch_refs\": %u,\n"
                      "  \"filters\": %zu,\n"
                      "  \"refs\": %llu,\n"
@@ -597,9 +680,10 @@ cmdBench(const std::map<std::string, std::string> &opts)
                      "  \"best_seconds\": %.6f,\n"
                      "  \"refs_per_sec\": %.0f\n"
                      "}\n",
-                     jsonEscape(name).c_str(), cfg.nprocs, cfg.batchRefs,
-                     specs.size(), static_cast<unsigned long long>(refs),
-                     repeat, best, refs / best);
+                     jsonEscape(name).c_str(), cfg.nprocs, cfg.snoopBuses,
+                     cfg.batchRefs, specs.size(),
+                     static_cast<unsigned long long>(refs), repeat, best,
+                     refs / best);
         std::fclose(jf);
         std::printf("wrote %s\n", opts.at("json").c_str());
     }
@@ -650,6 +734,11 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
             fatal("fuzz --procs needs a count >= 2");
         cfg.system.nprocs = v;
     }
+    if (opts.count("buses")) {
+        // Pin the interconnect instead of cycling through 1/2/4.
+        cfg.system.snoopBuses = busCount(opts, 1);
+        cfg.randomizeBuses = false;
+    }
     if (opts.count("filters"))
         cfg.system.filterSpecs = filterList(opts);
     if (opts.count("seconds")) {
@@ -689,8 +778,11 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
             warn("no complete sidecar " + opts.at("repro") +
                  ".txt; replaying under the default configuration");
         }
+        // Explicit options override what the sidecar restored.
         if (opts.count("filters"))
             cfg.system.filterSpecs = filterList(opts);
+        if (opts.count("buses"))
+            cfg.system.snoopBuses = busCount(opts, 1);
         cfg.system.nprocs = static_cast<unsigned>(traces.size());
         const std::string failure = verify::TraceFuzzer::checkOnce(
             cfg.system, traces, cfg.auditEvery, true, true, nullptr);
@@ -730,6 +822,7 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
                 static_cast<unsigned long long>(result.records()));
     const std::string out =
         opts.count("out") ? opts.at("out") : std::string("fuzz-repro.jtt");
+    // (writeRepro records the failing round's bus count from the result.)
     verify::writeRepro(out, result, cfg.system);
     std::printf("  repro written to %s (+ %s.txt)\n", out.c_str(),
                 out.c_str());
