@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "api/report.hh"
 #include "experiments/experiments.hh"
 #include "sim/latency.hh"
 #include "sim/smp_system.hh"
@@ -209,7 +210,8 @@ struct Measurement
     {
         for (const auto &row : rows) {
             if (row.buses == buses)
-                return scalarSeconds / row.seconds;
+                return row.seconds > 0 ? scalarSeconds / row.seconds
+                                       : 0.0;
         }
         return 0.0;
     }
@@ -380,62 +382,63 @@ main(int argc, char **argv)
                                 : "(below the 1.8x target)");
 
     if (!out.empty()) {
-        std::FILE *f = std::fopen(out.c_str(), "w");
-        if (!f)
-            fatal("bench_snoopbus: cannot open '" + out + "'");
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"snoopbus\",\n"
-                     "  \"smoke\": %s,\n"
-                     "  \"procs\": 4,\n"
-                     "  \"filters\": %zu,\n"
-                     "  \"repeats\": %u,\n"
-                     "  \"scale\": %.3f,\n"
-                     "  \"bit_identity\": true,\n"
-                     "  \"headline_lu_speedup_4buses\": %.3f,\n"
-                     "  \"workloads\": [\n",
-                     smoke ? "true" : "false", kFilters.size(), repeats,
-                     scale, headline);
-        for (std::size_t a = 0; a < apps.size(); ++a) {
-            const auto &app = apps[a];
-            std::fprintf(f,
-                         "    {\"name\": \"%s\", \"refs\": %llu,\n"
-                         "     \"scalar_refs_per_sec\": %.0f,\n"
-                         "     \"scalar_replay_refs_per_sec\": %.0f,\n"
-                         "     \"capture_seconds\": %.4f,\n"
-                         "     \"bus_rows\": [\n",
-                         app.name.c_str(),
-                         static_cast<unsigned long long>(app.m.refs),
-                         app.m.refs / app.m.scalarSeconds,
-                         app.m.refs / app.m.scalarReplaySeconds,
-                         app.m.captureSeconds);
-            for (std::size_t i = 0; i < app.m.rows.size(); ++i) {
-                const auto &row = app.m.rows[i];
-                std::string txns;
-                for (std::size_t b = 0; b < row.perBusTxns.size(); ++b) {
-                    if (b)
-                        txns += ", ";
-                    txns += std::to_string(row.perBusTxns[b]);
-                }
-                std::fprintf(
-                    f,
-                    "      {\"buses\": %u, \"batched_refs_per_sec\": "
-                    "%.0f,\n"
-                    "       \"speedup_vs_scalar\": %.3f,\n"
-                    "       \"busiest_utilization\": %.4f,\n"
-                    "       \"busiest_wait_bus_cycles\": %.4f,\n"
-                    "       \"per_bus_transactions\": [%s]}%s\n",
-                    row.buses, app.m.refs / row.seconds,
-                    app.m.scalarSeconds / row.seconds,
-                    row.busiestUtilization, row.busiestWaitBusCycles,
-                    txns.c_str(),
-                    i + 1 < app.m.rows.size() ? "," : "");
+        // One api::Report (DESIGN.md schema): the pre-Report emitter's
+        // fields preserved under the versioned envelope, with the
+        // machine/filters/bus axis echoed as an ExperimentSpec.
+        api::ExperimentSpec spec;
+        spec.filters = kFilters;
+        spec.scale = scale;
+        spec.benchRepeat = repeats;
+        spec.sweepBuses = bus_counts;
+        for (const auto &app : apps)
+            spec.apps.push_back(app.name);
+
+        api::Report report("snoopbus");
+        report.echoSpec(spec);
+        auto &root = report.root();
+        root.set("bench", "snoopbus");
+        root.set("smoke", smoke);
+        root.set("procs", 4);
+        root.set("filters",
+                 static_cast<std::uint64_t>(kFilters.size()));
+        root.set("repeats", repeats);
+        root.set("scale", scale);
+        root.set("bit_identity", true);
+        root.set("headline_lu_speedup_4buses", headline);
+        json::Value workloads = json::Value::array();
+        for (const auto &app : apps) {
+            const double refs = static_cast<double>(app.m.refs);
+            json::Value w = json::Value::object();
+            w.set("name", app.name);
+            w.set("refs", app.m.refs);
+            w.set("scalar_refs_per_sec",
+                  api::Report::ratio(refs, app.m.scalarSeconds));
+            w.set("scalar_replay_refs_per_sec",
+                  api::Report::ratio(refs, app.m.scalarReplaySeconds));
+            w.set("capture_seconds", app.m.captureSeconds);
+            json::Value bus_rows = json::Value::array();
+            for (const auto &row : app.m.rows) {
+                json::Value r = json::Value::object();
+                r.set("buses", row.buses);
+                r.set("batched_refs_per_sec",
+                      api::Report::ratio(refs, row.seconds));
+                r.set("speedup_vs_scalar",
+                      api::Report::ratio(app.m.scalarSeconds,
+                                         row.seconds));
+                r.set("busiest_utilization", row.busiestUtilization);
+                r.set("busiest_wait_bus_cycles",
+                      row.busiestWaitBusCycles);
+                json::Value txns = json::Value::array();
+                for (const std::uint64_t t : row.perBusTxns)
+                    txns.push(t);
+                r.set("per_bus_transactions", std::move(txns));
+                bus_rows.push(std::move(r));
             }
-            std::fprintf(f, "    ]}%s\n",
-                         a + 1 < apps.size() ? "," : "");
+            w.set("bus_rows", std::move(bus_rows));
+            workloads.push(std::move(w));
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        root.set("workloads", std::move(workloads));
+        report.writeFile(out);
         std::printf("wrote %s\n", out.c_str());
     }
     return 0;

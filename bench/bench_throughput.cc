@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "api/report.hh"
 #include "experiments/experiments.hh"
 #include "sim/smp_system.hh"
 #include "trace/apps.hh"
@@ -240,35 +241,43 @@ main(int argc, char **argv)
                                 : "(below the 2x target)");
 
     if (!out.empty()) {
-        std::FILE *f = std::fopen(out.c_str(), "w");
-        if (!f)
-            fatal("bench_throughput: cannot open '" + out + "'");
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"throughput\",\n"
-                     "  \"smoke\": %s,\n"
-                     "  \"procs\": 4,\n"
-                     "  \"filters\": %zu,\n"
-                     "  \"repeats\": %u,\n"
-                     "  \"headline_speedup\": %.3f,\n"
-                     "  \"workloads\": [\n",
-                     smoke ? "true" : "false", kFilters.size(), repeats,
-                     headline);
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const auto &row = rows[i];
-            std::fprintf(
-                f,
-                "    {\"name\": \"%s\", \"refs\": %llu,\n"
-                "     \"scalar_refs_per_sec\": %.0f,\n"
-                "     \"batched_refs_per_sec\": %.0f,\n"
-                "     \"speedup\": %.3f}%s\n",
-                row.name.c_str(),
-                static_cast<unsigned long long>(row.m.refs),
-                row.m.scalarRate(), row.m.batchedRate(), row.m.speedup(),
-                i + 1 < rows.size() ? "," : "");
+        // One api::Report (DESIGN.md schema): the pre-Report emitter's
+        // fields preserved under the versioned envelope, with the
+        // machine/filters echoed as an ExperimentSpec.
+        api::ExperimentSpec spec;
+        spec.filters = kFilters;
+        spec.scale = appScale;
+        spec.benchRepeat = repeats;
+
+        api::Report report("throughput");
+        report.echoSpec(spec);
+        auto &root = report.root();
+        root.set("bench", "throughput");
+        root.set("smoke", smoke);
+        root.set("procs", 4);
+        root.set("filters",
+                 static_cast<std::uint64_t>(kFilters.size()));
+        root.set("repeats", repeats);
+        root.set("headline_speedup",
+                 api::Report::ratio(rows.front().m.scalarSeconds,
+                                    rows.front().m.batchedSeconds));
+        json::Value workloads = json::Value::array();
+        for (const auto &row : rows) {
+            json::Value w = json::Value::object();
+            w.set("name", row.name);
+            w.set("refs", row.m.refs);
+            w.set("scalar_refs_per_sec",
+                  api::Report::ratio(static_cast<double>(row.m.refs),
+                                     row.m.scalarSeconds));
+            w.set("batched_refs_per_sec",
+                  api::Report::ratio(static_cast<double>(row.m.refs),
+                                     row.m.batchedSeconds));
+            w.set("speedup", api::Report::ratio(row.m.scalarSeconds,
+                                                row.m.batchedSeconds));
+            workloads.push(std::move(w));
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        root.set("workloads", std::move(workloads));
+        report.writeFile(out);
         std::printf("wrote %s\n", out.c_str());
     }
     return 0;

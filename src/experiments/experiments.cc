@@ -11,6 +11,7 @@
 
 #include "core/filter_spec.hh"
 #include "trace/trace_file.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace jetty::experiments
@@ -172,29 +173,13 @@ profileFingerprint(const trace::AppProfile &app)
     return fnv.value();
 }
 
-/** Cache key: one simulated (app, variant, scale) triple. */
-struct RunKey
-{
-    std::uint64_t profile = 0;
-    unsigned nprocs = 0;
-    bool subblocked = true;
-    unsigned snoopBuses = 1;
-    std::uint64_t scaleBits = 0;
-
-    bool
-    operator<(const RunKey &o) const
-    {
-        if (profile != o.profile)
-            return profile < o.profile;
-        if (nprocs != o.nprocs)
-            return nprocs < o.nprocs;
-        if (subblocked != o.subblocked)
-            return subblocked < o.subblocked;
-        if (snoopBuses != o.snoopBuses)
-            return snoopBuses < o.snoopBuses;
-        return scaleBits < o.scaleBits;
-    }
-};
+/**
+ * Cache key: the canonical serialization of one simulated
+ * (machine, workload, scale) cell (api::runCacheKey). Canonical text
+ * equality is simulation identity, and the std::map's byte order keeps
+ * the pending-job batch deterministic.
+ */
+using RunKey = std::string;
 
 /**
  * Content digest of a trace file, memoized per (path, size, mtime) so
@@ -236,31 +221,6 @@ cachedTraceFileDigest(const std::string &path)
     std::lock_guard<std::mutex> lock(mu);
     digests[path] = {size, mtime, digest};
     return digest;
-}
-
-RunKey
-makeKey(const RunRequest &req, double scale)
-{
-    RunKey key;
-    if (!req.traceFiles.empty()) {
-        // File-backed workload: identity is what the files *contain*,
-        // not where they live or what profile labels them.
-        Fnv fnv;
-        fnv.mix(static_cast<std::uint64_t>(req.traceFiles.size()));
-        for (const auto &file : req.traceFiles)
-            fnv.mix(cachedTraceFileDigest(file));
-        key.profile = fnv.value();
-    } else {
-        key.profile = profileFingerprint(req.app);
-    }
-    key.nprocs = req.variant.nprocs;
-    key.subblocked = req.variant.subblocked;
-    key.snoopBuses = req.variant.snoopBuses;
-    // accessScale does not apply to file replays (the capture's length
-    // is the capture's length), so it must not split their cache keys.
-    if (req.traceFiles.empty())
-        std::memcpy(&key.scaleBits, &scale, sizeof(key.scaleBits));
-    return key;
 }
 
 /** One cached simulation: the full result plus the specs it covers. */
@@ -307,6 +267,56 @@ project(const AppRunResult &full, const std::vector<std::string> &names)
 }
 
 } // namespace
+
+std::uint64_t
+workloadFingerprint(const RunRequest &req)
+{
+    if (!req.traceFiles.empty()) {
+        // File-backed workload: identity is what the files *contain*,
+        // not where they live or what profile labels them.
+        Fnv fnv;
+        fnv.mix(static_cast<std::uint64_t>(req.traceFiles.size()));
+        for (const auto &file : req.traceFiles)
+            fnv.mix(cachedTraceFileDigest(file));
+        return fnv.value();
+    }
+    return profileFingerprint(req.app);
+}
+
+std::string
+runCacheKey(const RunRequest &req, double scale)
+{
+    // The key is a canonical mini-spec of the simulated cell: the
+    // variant machine plus the workload's content identity. Everything
+    // that changes the simulation is in here; nothing else is — filter
+    // specs in particular stay out (the bank is a passive observer, so
+    // a superset simulation answers any subset request).
+    json::Value machine = json::Value::object();
+    machine.set("procs", req.variant.nprocs);
+    machine.set("buses", req.variant.snoopBuses);
+    machine.set("subblocked", req.variant.subblocked);
+
+    json::Value workload = json::Value::object();
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "0x%016llx",
+                  static_cast<unsigned long long>(
+                      workloadFingerprint(req)));
+    workload.set("fingerprint", fp);
+    if (req.traceFiles.empty()) {
+        workload.set("kind", "profile");
+        // accessScale does not apply to file replays (the capture's
+        // length is the capture's length), so it must not split their
+        // keys — it only joins profile-backed identities.
+        workload.set("scale", scale);
+    } else {
+        workload.set("kind", "files");
+    }
+
+    json::Value root = json::Value::object();
+    root.set("machine", std::move(machine));
+    root.set("workload", std::move(workload));
+    return root.dumpCanonical();
+}
 
 struct RunCache::Impl
 {
@@ -394,7 +404,7 @@ runMany(const std::vector<RunRequest> &requests, unsigned jobs)
             req.accessScale > 0 ? req.accessScale : defaultScale();
         const filter::AddressMap amap =
             req.variant.smpConfig().addressMap();
-        prepared[r].key = makeKey(req, scale);
+        prepared[r].key = runCacheKey(req, scale);
         for (const auto &spec : req.filterSpecs) {
             const std::string name = canonical(spec, amap);
             auto &names = prepared[r].names;

@@ -112,6 +112,26 @@ struct RunRequest
 };
 
 /**
+ * Content identity of the request's workload: a fingerprint over every
+ * profile field that shapes the reference streams, or — file-backed —
+ * over the trace files' content digests. Two requests with equal
+ * fingerprints (and equal variants/scale) are the same simulation;
+ * runCacheKey() folds this into the canonical RunCache key.
+ */
+std::uint64_t workloadFingerprint(const RunRequest &req);
+
+/**
+ * The RunCache identity of @p req under @p scale: the canonical
+ * (sorted-keys, minimal-whitespace, shortest-exact-number) JSON
+ * serialization of the simulated cell — variant machine + workload
+ * fingerprint (+ scale for profile-backed workloads; a capture's
+ * length is the capture's length). Key equality is exactly "same
+ * simulation", however the request was phrased. Re-exported as
+ * api::runCacheKey for spec-level callers.
+ */
+std::string runCacheKey(const RunRequest &req, double scale);
+
+/**
  * Serve @p requests: cache hits are answered directly, the misses are
  * simulated concurrently by one SweepRunner sweep, and every result is
  * remembered for the rest of the process.
@@ -146,11 +166,12 @@ double defaultScale();
 
 /**
  * The process-wide run cache behind runApp()/runMany()/runAllApps(),
- * keyed by (app identity, nprocs, subblocked, scale); file-backed
- * workloads key by the trace files' content digests instead of the app
- * identity. A request whose
+ * keyed by runCacheKey() — the canonical (sorted-keys, minimal)
+ * JSON serialization of the simulated cell's machine + workload
+ * fingerprint + scale. File-backed workloads fingerprint the trace
+ * files' content digests instead of the app identity. A request whose
  * filter specs are covered by the cached entry is a hit; otherwise the
- * pair re-simulates once with the union of the old and new specs.
+ * cell re-simulates once with the union of the old and new specs.
  * Thread-safe.
  */
 class RunCache

@@ -213,15 +213,40 @@ paperApps()
     return apps;
 }
 
-AppProfile
-appByName(const std::string &name)
+namespace
+{
+
+/** The one matching rule behind appByName()/appKnown(): tag or full
+ *  name, case-insensitive. @p out (optional) receives the profile. */
+bool
+findApp(const std::string &name, AppProfile *out)
 {
     const std::string key = toUpper(trim(name));
     for (const auto &app : paperApps()) {
-        if (toUpper(app.abbrev) == key || toUpper(app.name) == key)
-            return app;
+        if (toUpper(app.abbrev) == key || toUpper(app.name) == key) {
+            if (out)
+                *out = app;
+            return true;
+        }
     }
-    fatal("appByName: unknown application '" + name + "'");
+    return false;
+}
+
+} // namespace
+
+AppProfile
+appByName(const std::string &name)
+{
+    AppProfile app;
+    if (!findApp(name, &app))
+        fatal("appByName: unknown application '" + name + "'");
+    return app;
+}
+
+bool
+appKnown(const std::string &name)
+{
+    return findApp(name, nullptr);
 }
 
 AppProfile

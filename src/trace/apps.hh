@@ -29,6 +29,10 @@ std::vector<AppProfile> paperApps();
  *  full name (case-insensitive). Calls fatal() when unknown. */
 AppProfile appByName(const std::string &name);
 
+/** True when appByName(@p name) would resolve (non-fatal probe — spec
+ *  validation rejects typos with a message instead of exiting). */
+bool appKnown(const std::string &name);
+
 /** A multiprogrammed workload: every processor runs an independent
  *  program, so virtually every snoop misses everywhere. */
 AppProfile throughputServer();

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Minimal self-contained JSON tree, writer and parser — the one
+ * serialization layer behind the ExperimentSpec / Report API (src/api)
+ * and every JSON file the tools and benches emit. No external
+ * dependencies.
+ *
+ * Design points that matter to the API layer:
+ *  - Objects preserve *insertion order* on emission (specs and reports
+ *    read top-down), but dumpCanonical() sorts keys and strips
+ *    whitespace, so two trees holding the same data always canonicalize
+ *    to the same bytes — that string is what the RunCache keys on.
+ *  - Numbers remember whether they were integers; doubles are formatted
+ *    with the shortest representation that round-trips exactly, so
+ *    parse -> emit -> parse is the identity.
+ *  - Strings are escaped on output (quotes, backslashes, control
+ *    characters) — the fix for the hand-rolled fprintf emitters this
+ *    module replaces, which escaped nothing.
+ */
+
+#ifndef JETTY_UTIL_JSON_HH
+#define JETTY_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jetty::json
+{
+
+/** Discriminator of a Value. Int/Uint/Double all answer isNumber(). */
+enum class Type : std::uint8_t
+{
+    Null,
+    Bool,
+    Int,     //!< fits a signed 64-bit integer (and was written as one)
+    Uint,    //!< unsigned 64-bit integer beyond int64 range
+    Double,
+    String,
+    Array,
+    Object,
+};
+
+/** One JSON value: a tagged tree node. */
+class Value
+{
+  public:
+    using Member = std::pair<std::string, Value>;
+
+    Value() : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(int v) : type_(Type::Int), int_(v) {}
+    Value(unsigned v) : type_(Type::Int), int_(v) {}
+    Value(long v) : type_(Type::Int), int_(v) {}
+    Value(long long v) : type_(Type::Int), int_(v) {}
+    Value(unsigned long v);
+    Value(unsigned long long v);
+    Value(double v) : type_(Type::Double), dbl_(v) {}
+    Value(const char *s) : type_(Type::String), str_(s) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Value array() { return Value(Type::Array); }
+    static Value object() { return Value(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    /** An integral number (Int/Uint, or a Double holding an integer). */
+    bool isIntegral() const;
+    /** An integral number representable as int64 / uint64 — the guards
+     *  validating readers check before calling asI64()/asU64() (casting
+     *  an out-of-range double would be undefined behaviour). */
+    bool fitsI64() const;
+    bool fitsU64() const;
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Scalar readers; panic() on a type mismatch (callers validate). */
+    bool asBool() const;
+    std::int64_t asI64() const;
+    std::uint64_t asU64() const;  //!< panics when negative
+    double asDouble() const;
+    const std::string &asString() const;
+
+    // ---- object interface ----
+    /** Append @p key (or replace its existing value); returns *this so
+     *  builders chain. Panics on non-objects. */
+    Value &set(const std::string &key, Value v);
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Value *find(const std::string &key) const;
+    const std::vector<Member> &members() const;
+
+    // ---- array interface ----
+    Value &push(Value v);  //!< append; panics on non-arrays
+    const std::vector<Value> &items() const;
+
+    /** Members (object), items (array), or 0. */
+    std::size_t size() const;
+
+    /** Pretty emission: two-space indent, insertion-order keys,
+     *  trailing newline. */
+    std::string dump() const;
+
+    /** Canonical emission: keys sorted bytewise, no whitespace. Two
+     *  trees holding the same data produce identical bytes — the
+     *  RunCache key property. */
+    std::string dumpCanonical() const;
+
+  private:
+    explicit Value(Type t) : type_(t) {}
+
+    void write(std::string &out, int indent, bool canonical) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double dbl_ = 0;
+    std::string str_;
+    std::vector<Value> items_;
+    std::vector<Member> members_;
+};
+
+/** Escape @p s for inclusion between JSON quotes. */
+std::string escape(const std::string &s);
+
+/** Shortest decimal form of @p v that strtod() parses back exactly. */
+std::string formatDouble(double v);
+
+/**
+ * Parse @p text into a tree.
+ * @param err on failure receives "line L: what went wrong"; the
+ *            returned Value is then null.
+ * @return the parsed value (trailing garbage is an error).
+ */
+Value parse(const std::string &text, std::string *err);
+
+/** Read and parse @p path. @p err receives the failure ("" on
+ *  success); the file-not-found case is reported there too. */
+Value parseFile(const std::string &path, std::string *err);
+
+/** Write @p v (pretty) to @p path; fatal() on I/O failure. */
+void writeFile(const std::string &path, const Value &v);
+
+} // namespace jetty::json
+
+#endif // JETTY_UTIL_JSON_HH

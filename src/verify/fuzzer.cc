@@ -7,7 +7,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "api/experiment_spec.hh"
 #include "trace/trace_file.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "verify/golden_smp.hh"
@@ -483,9 +485,27 @@ TraceFuzzer::run()
     return result;
 }
 
+api::ExperimentSpec
+specOfFuzz(const FuzzConfig &cfg, unsigned snoopBuses)
+{
+    api::ExperimentSpec spec;
+    sim::SmpConfig system = cfg.system;
+    system.snoopBuses = snoopBuses;
+    spec.machine = api::MachineSpec::fromSmpConfig(system);
+    spec.filters = system.filterSpecs;
+    spec.hasFuzz = true;
+    spec.fuzz.seed = cfg.seed;
+    spec.fuzz.rounds = cfg.rounds;
+    spec.fuzz.refsPerProc = cfg.refsPerProc;
+    spec.fuzz.auditEvery = cfg.auditEvery;
+    spec.fuzz.seconds = cfg.timeBudgetSeconds;
+    spec.fuzz.randomizeBuses = cfg.randomizeBuses;
+    return spec;
+}
+
 void
 writeRepro(const std::string &path, const FuzzResult &result,
-           const sim::SmpConfig &system)
+           const FuzzConfig &cfg)
 {
     // The traces themselves, one JTTRACE2 stream section per processor —
     // replayable by anything that reads the trace format.
@@ -497,56 +517,27 @@ writeRepro(const std::string &path, const FuzzResult &result,
     }
     writer.close();
 
-    // The sidecar header: the seeds and configuration that make the
-    // repro reproducible on any platform, plus what it reproduces.
-    const std::string meta_path = path + ".txt";
-    std::FILE *f = std::fopen(meta_path.c_str(), "w");
-    if (!f)
-        fatal("writeRepro: cannot open '" + meta_path + "'");
-    // Equivalence-diff details span lines; the header is strictly
-    // one key=value per line, so fold them.
-    std::string detail = result.detail;
-    for (auto pos = detail.find('\n'); pos != std::string::npos;
-         pos = detail.find('\n', pos)) {
-        detail.replace(pos, 1, "; ");
-    }
-    // ';'-joined: hybrid specs like HJ(IJ-10x4x7,EJ-32x4) contain commas.
-    std::string filters;
-    for (const auto &s : system.filterSpecs) {
-        if (!filters.empty())
-            filters += ";";
-        filters += s;
-    }
-    std::fprintf(f,
-                 "# jetty fuzz repro (traces in %s)\n"
-                 "# replay: jetty_cli fuzz --repro %s\n"
-                 "seed=%llu\n"
-                 "failing_round=%u\n"
-                 "round_seed=%llu\n"
-                 "invariant=%s\n"
-                 "detail=%s\n"
-                 "nprocs=%u\n"
-                 "snoop_buses=%u\n"
-                 "l1=%llu/%u/%u\n"
-                 "l2=%llu/%u/%u/%u\n"
-                 "wb_entries=%u\n"
-                 "filters=%s\n"
-                 "records=%llu\n",
-                 path.c_str(), path.c_str(),
-                 static_cast<unsigned long long>(result.seed),
-                 result.failingRound,
-                 static_cast<unsigned long long>(result.roundSeed),
-                 result.invariant.c_str(), detail.c_str(),
-                 system.nprocs, result.snoopBuses,
-                 static_cast<unsigned long long>(system.l1.sizeBytes),
-                 system.l1.assoc, system.l1.blockBytes,
-                 static_cast<unsigned long long>(system.l2.sizeBytes),
-                 system.l2.assoc, system.l2.blockBytes,
-                 system.l2.subblocks, system.wbEntries, filters.c_str(),
-                 static_cast<unsigned long long>(result.records()));
-    const bool write_error = std::ferror(f) != 0;
-    if (std::fclose(f) != 0 || write_error)
-        fatal("writeRepro: write to '" + meta_path + "' failed");
+    // The sidecar: a JSON document whose embedded ExperimentSpec pins
+    // the exact machine (explicit geometry, the *failing round's* bus
+    // count, filters, campaign seed and budgets) — everything a replay
+    // needs — plus the failure metadata. Legacy key=value ".txt"
+    // sidecars are still read by readReproConfig(), never written.
+    api::ExperimentSpec spec = specOfFuzz(cfg, result.snoopBuses);
+    spec.fuzz.seed = result.seed;
+    spec.fuzz.randomizeBuses = false;  // the machine above is pinned
+
+    json::Value root = json::Value::object();
+    root.set("jetty_repro", std::int64_t(1));
+    root.set("traces", path);
+    root.set("replay", "jetty_cli fuzz --repro " + path);
+    root.set("seed", result.seed);
+    root.set("failing_round", result.failingRound);
+    root.set("round_seed", result.roundSeed);
+    root.set("invariant", result.invariant);
+    root.set("detail", result.detail);
+    root.set("records", result.records());
+    root.set("spec", spec.toJson());
+    json::writeFile(path + ".json", root);
 }
 
 TraceSet
@@ -563,6 +554,38 @@ readReproTraces(const std::string &path)
 bool
 readReproConfig(const std::string &path, sim::SmpConfig &out)
 {
+    // Current sidecar format: "<path>.json" carrying the machine as an
+    // embedded ExperimentSpec. The spec parser does the validation
+    // (geometry completeness, ranges, filter grammar), so anything it
+    // accepts is a fully pinned machine; anything it rejects falls
+    // through to the legacy reader and, failing that, to false.
+    {
+        std::string err;
+        const json::Value doc = json::parseFile(path + ".json", &err);
+        if (err.empty()) {
+            if (const json::Value *spec_node = doc.find("spec")) {
+                const api::ExperimentSpec spec =
+                    api::ExperimentSpec::fromJson(*spec_node, &err);
+                if (err.empty() && spec.hasMachine) {
+                    // A spec with a machine section is a fully pinned
+                    // machine — including a filterless one (a campaign
+                    // hunting core-coherence bugs runs no filters, and
+                    // its repro must not fall back to the defaults).
+                    // One *without* a machine section is incomplete,
+                    // and the all-or-nothing rule applies: restoring a
+                    // hybrid of sidecar and default machine is exactly
+                    // the false-clean replay this reader must prevent.
+                    sim::SmpConfig cfg = spec.smpConfig();
+                    cfg.checkSafety = out.checkSafety;
+                    out = cfg;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // Legacy sidecar: "<path>.txt", one key=value per line (written by
+    // pre-spec builds; kept readable so old repros still replay).
     std::FILE *f = std::fopen((path + ".txt").c_str(), "r");
     if (!f)
         return false;

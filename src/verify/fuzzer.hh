@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "api/experiment_spec.hh"
 #include "sim/smp_system.hh"
 #include "trace/trace_source.hh"
 #include "util/random.hh"
@@ -170,23 +171,41 @@ class TraceFuzzer
 };
 
 /**
+ * The campaign's configuration as an api::ExperimentSpec: explicit
+ * machine geometry with @p snoopBuses substituted (the CLI passes the
+ * configured count, the repro writer the *failing round's*), filters,
+ * and the real campaign budgets. One construction shared by
+ * `jetty_cli fuzz --dump-spec` and the repro sidecar, so the two can
+ * never drift on a future FuzzConfig knob.
+ */
+api::ExperimentSpec specOfFuzz(const FuzzConfig &cfg, unsigned snoopBuses);
+
+/**
  * Write a failing trace set as a JTTRACE2 repro (one stream section per
- * processor) plus a "<path>.txt" sidecar header documenting the seed,
- * round, geometry, filters and violated invariant — everything needed to
- * reproduce the failure with `jetty_cli fuzz --repro <path>`.
+ * processor) plus a "<path>.json" sidecar whose embedded
+ * api::ExperimentSpec pins the machine the failure was caught on
+ * (explicit cache geometry, the failing round's bus count, filters,
+ * campaign seed) alongside the violated invariant — everything needed
+ * to reproduce the failure with `jetty_cli fuzz --repro <path>`.
+ * @p cfg is the campaign's configuration: its system (with the failing
+ * round's bus count substituted) becomes the embedded machine, and its
+ * real budgets (rounds, refs per proc, audit cadence, time budget) are
+ * recorded so re-running the campaign from the sidecar reproduces the
+ * campaign, not the defaults.
  */
 void writeRepro(const std::string &path, const FuzzResult &result,
-                const sim::SmpConfig &system);
+                const FuzzConfig &cfg);
 
 /** Load the per-processor traces of a repro written by writeRepro(). */
 TraceSet readReproTraces(const std::string &path);
 
 /**
- * Restore the system configuration recorded in the "<path>.txt" sidecar
- * (nprocs, cache geometry, WB depth, filter specs) so a replay runs the
- * machine the failure was caught on, not the defaults. @p out is only
- * modified on success. @return false when the sidecar is missing or
- * holds no recognizable configuration keys.
+ * Restore the system configuration recorded in the repro's sidecar so a
+ * replay runs the machine the failure was caught on, not the defaults.
+ * Reads the "<path>.json" embedded-ExperimentSpec sidecar first and
+ * falls back to the legacy "<path>.txt" key=value header (pre-spec
+ * builds' repros stay replayable). @p out is only modified on success.
+ * @return false when no sidecar yields a complete machine.
  */
 bool readReproConfig(const std::string &path, sim::SmpConfig &out);
 

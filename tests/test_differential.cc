@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <string>
 
+#include "api/experiment_spec.hh"
 #include "core/filter_registry.hh"
 #include "sim/smp_system.hh"
 #include "trace/trace_source.hh"
+#include "util/json.hh"
 #include "util/random.hh"
 #include "verify/fuzzer.hh"
 #include "verify/golden_smp.hh"
@@ -426,7 +428,7 @@ TEST(Differential, BrokenFilterIsCaughtAndShrunkToSmallRepro)
     // Round-trip through the repro file format; the reloaded traces must
     // reproduce too, and the sidecar header documents the seed.
     const std::string path = ::testing::TempDir() + "jetty_fuzz_repro.jtt";
-    writeRepro(path, result, cfg.system);
+    writeRepro(path, result, cfg);
     const TraceSet reloaded = readReproTraces(path);
     ASSERT_EQ(reloaded.size(), result.traces.size());
     EXPECT_NE(TraceFuzzer::checkOnce(cfg.system, reloaded, cfg.auditEvery,
@@ -449,18 +451,64 @@ TEST(Differential, BrokenFilterIsCaughtAndShrunkToSmallRepro)
                                      false, false, nullptr),
               "");
 
-    std::FILE *f = std::fopen((path + ".txt").c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    std::string header;
-    char buf[256];
-    while (std::fgets(buf, sizeof(buf), f))
-        header += buf;
-    std::fclose(f);
-    EXPECT_NE(header.find("seed=" + std::to_string(kDefaultRngSeed)),
-              std::string::npos);
-    EXPECT_NE(header.find("invariant=no-false-negative"),
-              std::string::npos);
+    // The sidecar is a JSON document whose embedded ExperimentSpec
+    // parses back to exactly the restored machine, and whose metadata
+    // documents the campaign seed and invariant.
+    std::string err;
+    const json::Value doc =
+        json::parseFile(path + ".json", &err);
+    ASSERT_EQ(err, "");
+    ASSERT_NE(doc.find("seed"), nullptr);
+    EXPECT_EQ(doc.find("seed")->asU64(), kDefaultRngSeed);
+    ASSERT_NE(doc.find("invariant"), nullptr);
+    EXPECT_EQ(doc.find("invariant")->asString(), "no-false-negative");
+    ASSERT_NE(doc.find("spec"), nullptr);
+    const api::ExperimentSpec spec =
+        api::ExperimentSpec::fromJson(*doc.find("spec"), &err);
+    ASSERT_EQ(err, "") << err;
+    EXPECT_EQ(spec.smpConfig().l1.sizeBytes, cfg.system.l1.sizeBytes);
+    EXPECT_EQ(spec.smpConfig().snoopBuses, result.snoopBuses);
+    EXPECT_EQ(spec.filters, cfg.system.filterSpecs);
+    EXPECT_EQ(spec.fuzz.seed, result.seed);
+    // The sidecar records the *actual* campaign budgets, not defaults.
+    EXPECT_EQ(spec.fuzz.rounds, cfg.rounds);
+    EXPECT_EQ(spec.fuzz.refsPerProc, cfg.refsPerProc);
     std::remove(path.c_str());
+    std::remove((path + ".json").c_str());
+}
+
+TEST(Differential, LegacyTxtSidecarStillRestoresTheMachine)
+{
+    // Pre-spec builds wrote "<path>.txt" key=value sidecars; those
+    // repros must keep replaying on their recorded machine. Fabricate
+    // one in the old format (no .json alongside) and restore it.
+    const std::string path = ::testing::TempDir() + "jetty_legacy_repro";
+    std::FILE *f = std::fopen((path + ".txt").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f,
+                 "# jetty fuzz repro (traces in %s)\n"
+                 "seed=7\n"
+                 "invariant=no-false-negative\n"
+                 "nprocs=8\n"
+                 "snoop_buses=2\n"
+                 "l1=2048/1/32\n"
+                 "l2=16384/1/64/2\n"
+                 "wb_entries=4\n"
+                 "filters=NULL;EJ-16x2\n"
+                 "records=12\n",
+                 path.c_str());
+    std::fclose(f);
+
+    sim::SmpConfig restored;
+    ASSERT_TRUE(readReproConfig(path, restored));
+    EXPECT_EQ(restored.nprocs, 8u);
+    EXPECT_EQ(restored.snoopBuses, 2u);
+    EXPECT_EQ(restored.l1.sizeBytes, 2048u);
+    EXPECT_EQ(restored.l2.sizeBytes, 16384u);
+    EXPECT_EQ(restored.l2.subblocks, 2u);
+    EXPECT_EQ(restored.wbEntries, 4u);
+    EXPECT_EQ(restored.filterSpecs,
+              (std::vector<std::string>{"NULL", "EJ-16x2"}));
     std::remove((path + ".txt").c_str());
 }
 

@@ -4,15 +4,27 @@
  * system variant with any set of filter configurations, print coverage
  * and energy tables, or capture/replay binary traces.
  *
+ * Every simulating subcommand (run, sweep, replay, bench, fuzz) is a
+ * thin adapter over the declarative api::ExperimentSpec: `--spec FILE`
+ * loads a spec, the command's flags overlay it (flags win), the
+ * command's defaults fill whatever is still unset, and `--dump-spec`
+ * prints the fully resolved spec instead of running — so any
+ * invocation can be captured as one reproducible file and re-run
+ * bit-identically with `--spec`. `--json FILE` writes the results as a
+ * structured api::Report (schema in DESIGN.md), which echoes the spec.
+ *
  * Usage:
- *   jetty_cli run     [--app NAME] [--procs N] [--buses N]
+ *   jetty_cli run     [--spec FILE] [--app NAME] [--procs N] [--buses N]
  *                     [--no-subblock] [--scale F]
- *                     [--filters SPEC[,SPEC...]]
- *   jetty_cli sweep   [--apps NAME[,NAME...]|all] [--procs N[,M...]]
- *                     [--buses N[,M...]] [--no-subblock] [--scale F]
- *                     [--jobs N] [--filters SPEC[,SPEC...]]
- *                     (--buses adds the split-interconnect axis to the
- *                     cross-product: every (app, procs, buses) cell)
+ *                     [--filters SPEC[,SPEC...]] [--json FILE]
+ *                     [--dump-spec]
+ *   jetty_cli sweep   [--spec FILE] [--apps NAME[,NAME...]|all]
+ *                     [--procs N[,M...]] [--buses N[,M...]]
+ *                     [--no-subblock] [--scale F] [--jobs N]
+ *                     [--filters SPEC[,SPEC...]] [--json FILE]
+ *                     [--dump-spec]
+ *                     (--procs/--buses are sweep axes: every
+ *                     (app, procs, buses) cell of the cross-product)
  *   jetty_cli apps
  *   jetty_cli filters
  *   jetty_cli capture --app NAME --out FILE [--procs N] [--scale F]
@@ -22,31 +34,37 @@
  *                     streamed — the capture never lives in memory)
  *   jetty_cli trace   --app NAME --proc P --out FILE [--limit N]
  *                     (single-processor capture, one-section JTTRACE2)
- *   jetty_cli replay  --in FILE[,FILE...] [--filters SPEC[,...]]
- *                     [--procs N]
+ *   jetty_cli replay  [--spec FILE] --in FILE[,FILE...]
+ *                     [--filters SPEC[,...]] [--procs N] [--json FILE]
+ *                     [--dump-spec]
  *                     (per-processor files, one multi-section capture,
  *                     or one single-section file cloned everywhere;
  *                     streamed and cached by content digest)
- *   jetty_cli bench   [--app NAME | --in FILE[,FILE...]] [--procs N]
- *                     [--buses N] [--scale F] [--filters SPEC[,...]]
- *                     [--batch N] [--repeat K] [--json FILE]
+ *   jetty_cli bench   [--spec FILE] [--app NAME | --in FILE[,FILE...]]
+ *                     [--procs N] [--buses N] [--scale F]
+ *                     [--filters SPEC[,...]] [--batch N] [--repeat K]
+ *                     [--json FILE] [--dump-spec]
  *                     (sustained refs/sec of the batched delivery
  *                     pipeline; best of K cold runs, optional JSON)
- *   jetty_cli fuzz    [--seed N] [--rounds N] [--refs N] [--procs N]
- *                     [--buses N] [--filters SPEC[,...]] [--seconds S]
- *                     [--smoke] [--audit-every N] [--out FILE]
- *                     [--repro FILE]
+ *   jetty_cli fuzz    [--spec FILE] [--seed N] [--rounds N] [--refs N]
+ *                     [--procs N] [--buses N] [--filters SPEC[,...]]
+ *                     [--seconds S] [--smoke] [--audit-every N]
+ *                     [--out FILE] [--json FILE] [--repro FILE]
+ *                     [--dump-spec]
  *                     (--buses pins the split interconnect; without it
  *                     rounds cycle snoopBuses through 1/2/4)
  *                     (coverage-guided differential fuzzing: online
  *                     invariant checkers + golden-model and batched
  *                     state equivalence; failures are shrunk and
- *                     written as a JTTRACE2 repro + .txt header.
- *                     --repro replays a previously written repro.
+ *                     written as a JTTRACE2 repro + .json sidecar whose
+ *                     embedded ExperimentSpec pins the machine.
+ *                     --repro replays a previously written repro
+ *                     (legacy .txt sidecars still read).
  *                     Exit 0 clean, 2 on a caught violation)
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -57,6 +75,8 @@
 
 #include <chrono>
 
+#include "api/experiment_spec.hh"
+#include "api/report.hh"
 #include "core/filter_registry.hh"
 #include "core/filter_spec.hh"
 #include "experiments/experiments.hh"
@@ -75,6 +95,10 @@ using namespace jetty;
 namespace
 {
 
+/** The paper's standard filter trio (run/replay/bench default). */
+const std::vector<std::string> kDefaultFilters = {
+    "EJ-32x4", "IJ-10x4x7", "HJ(IJ-10x4x7,EJ-32x4)"};
+
 /** Parse "--key value" style options into a map. */
 std::map<std::string, std::string>
 parseOptions(int argc, char **argv, int first)
@@ -85,7 +109,7 @@ parseOptions(int argc, char **argv, int first)
         if (!startsWith(key, "--"))
             fatal("expected an option, got '" + key + "'");
         key = key.substr(2);
-        if (key == "no-subblock" || key == "smoke") {
+        if (key == "no-subblock" || key == "smoke" || key == "dump-spec") {
             opts[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -94,20 +118,6 @@ parseOptions(int argc, char **argv, int first)
         }
     }
     return opts;
-}
-
-/** Escape backslashes and quotes so a string can sit in a JSON value. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '\\' || c == '"')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 /** Split a filter list on commas, but not inside HJ(...) parentheses. */
@@ -133,26 +143,17 @@ splitSpecs(const std::string &s)
     return out;
 }
 
-std::vector<std::string>
-filterList(const std::map<std::string, std::string> &opts)
+/** Validate @p specs; exits through the registry's describeFailure()
+ *  (naming the offending token and its family's grammar) on any bad
+ *  spec — no path prints a bare message or falls through with exit 0
+ *  (cli negative-path test). */
+void
+requireValidFilters(const std::vector<std::string> &specs)
 {
-    std::vector<std::string> specs;
-    auto it = opts.find("filters");
-    if (it == opts.end()) {
-        specs = {"EJ-32x4", "IJ-10x4x7", "HJ(IJ-10x4x7,EJ-32x4)"};
-    } else {
-        specs = splitSpecs(it->second);
-    }
-    // Every subcommand funnels its --filters through here, so an
-    // invalid spec always reports through the registry's
-    // describeFailure() (naming the offending token and its family's
-    // grammar) and exits non-zero via fatal() — no path prints a bare
-    // message or falls through with exit 0 (cli negative-path test).
     for (const auto &s : specs) {
         if (!filter::isValidFilterSpec(s))
             fatal(filter::FilterRegistry::instance().describeFailure(s));
     }
-    return specs;
 }
 
 /** Parse a single --buses option (>= 1); @p fallback when absent. */
@@ -166,6 +167,149 @@ busCount(const std::map<std::string, std::string> &opts, unsigned fallback)
     if (!parseUnsigned(it->second, v) || v < 1)
         fatal("--buses needs a count >= 1, got '" + it->second + "'");
     return v;
+}
+
+/** Load --spec FILE when given, else a default-constructed spec. */
+api::ExperimentSpec
+specFromOpts(const std::map<std::string, std::string> &opts)
+{
+    if (opts.count("spec"))
+        return api::ExperimentSpec::load(opts.at("spec"));
+    return api::ExperimentSpec();
+}
+
+/** Overlay --filters onto @p filters (validated; flag wins). */
+void
+overlayFilterFlag(const std::map<std::string, std::string> &opts,
+                  std::vector<std::string> &filters)
+{
+    if (!opts.count("filters"))
+        return;
+    auto specs = splitSpecs(opts.at("filters"));
+    requireValidFilters(specs);
+    filters = specs;
+}
+
+/** Overlay --scale onto @p scale (finite, > 0; flag wins). A NaN
+ *  would silently fall back to the default and an infinity would
+ *  abort in the JSON emitter, so both are rejected here. */
+void
+overlayScaleFlag(const std::map<std::string, std::string> &opts,
+                 double &scale)
+{
+    if (!opts.count("scale"))
+        return;
+    const double v = std::atof(opts.at("scale").c_str());
+    if (!std::isfinite(v) || v <= 0)
+        fatal("--scale needs a finite value > 0, got '" +
+              opts.at("scale") + "'");
+    scale = v;
+}
+
+/**
+ * Overlay the machine/workload/filter flags every simulating command
+ * shares onto @p spec. Flags win over the spec file; whatever neither
+ * sets is resolved by the command's own defaults afterwards.
+ */
+void
+overlayCommonFlags(const std::map<std::string, std::string> &opts,
+                   api::ExperimentSpec &spec)
+{
+    if (opts.count("procs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("procs"), v) || v < 2)
+            fatal("--procs needs a count >= 2, got '" + opts.at("procs") +
+                  "'");
+        spec.machine.procs = v;
+    }
+    spec.machine.buses = busCount(opts, spec.machine.buses);
+    if (opts.count("no-subblock"))
+        spec.machine.subblocked = false;
+    overlayScaleFlag(opts, spec.scale);
+    if (opts.count("app")) {
+        spec.apps = {opts.at("app")};
+        // Flags win over the spec's workload wholesale: an explicit
+        // --app must not be silently outvoted by the spec's
+        // trace_files (the --in overlay clears apps symmetrically).
+        spec.traceFiles.clear();
+    }
+    overlayFilterFlag(opts, spec.filters);
+}
+
+/** @p cmd simulates exactly one machine; a spec carrying sweep axes
+ *  would be silently narrowed, so reject it the way multi-app and
+ *  trace-file mismatches are rejected. */
+void
+rejectSweepAxes(const api::ExperimentSpec &spec, const char *cmd)
+{
+    if (!spec.sweepProcs.empty() || !spec.sweepBuses.empty())
+        fatal(std::string(cmd) +
+              ": the spec has a sweep section — use sweep");
+}
+
+/** Sections @p cmd cannot honour must fail loudly, not be silently
+ *  dropped and then echoed back as if they had been part of the run. */
+void
+rejectForeignSections(const api::ExperimentSpec &spec, const char *cmd,
+                      bool allowBench)
+{
+    if (spec.hasFuzz)
+        fatal(std::string(cmd) +
+              ": the spec has a fuzz section — use fuzz");
+    if (!allowBench && spec.benchRepeat > 0)
+        fatal(std::string(cmd) +
+              ": the spec has a bench section — use bench");
+}
+
+/**
+ * Round-trip the fully resolved spec through its own schema, replacing
+ * it with the normalized parse. Flags overlay the spec *before* this
+ * runs, so a flag value the schema would reject (an unknown app, an
+ * out-of-range processor count) fails here with the schema's
+ * diagnostic — --dump-spec can never emit a spec that --spec refuses.
+ */
+void
+validateResolved(api::ExperimentSpec &spec)
+{
+    std::string err;
+    api::ExperimentSpec parsed = api::ExperimentSpec::parse(spec.emit(),
+                                                            &err);
+    if (!err.empty())
+        fatal(err);
+    spec = std::move(parsed);
+}
+
+/** Shared resolution tail: default filters and scale. */
+void
+resolveCommonDefaults(api::ExperimentSpec &spec, double defaultScale)
+{
+    if (spec.filters.empty())
+        spec.filters = kDefaultFilters;
+    if (spec.scale <= 0)
+        spec.scale = defaultScale;
+}
+
+/** Print the fully resolved spec and report whether the command should
+ *  exit (--dump-spec runs nothing). */
+bool
+dumpSpecRequested(const std::map<std::string, std::string> &opts,
+                  const api::ExperimentSpec &spec)
+{
+    if (!opts.count("dump-spec"))
+        return false;
+    std::fputs(spec.emit().c_str(), stdout);
+    return true;
+}
+
+/** run/sweep go through the experiment layer, which only models paper
+ *  variants; reject explicit-geometry specs with the field that cannot
+ *  be honoured. */
+void
+requireVariantMachine(const api::ExperimentSpec &spec)
+{
+    std::string why;
+    if (!spec.machine.variantCompatible(&why))
+        fatal(why);
 }
 
 void
@@ -208,26 +352,34 @@ printRunReport(const experiments::AppRunResult &run,
 int
 cmdRun(const std::map<std::string, std::string> &opts)
 {
-    experiments::SystemVariant variant;
-    if (opts.count("procs"))
-        variant.nprocs = static_cast<unsigned>(
-            std::atoi(opts.at("procs").c_str()));
-    variant.snoopBuses = busCount(opts, 1);
-    if (opts.count("no-subblock"))
-        variant.subblocked = false;
+    api::ExperimentSpec spec = specFromOpts(opts);
+    overlayCommonFlags(opts, spec);
+    if (spec.apps.empty())
+        spec.apps = {"lu"};
+    if (spec.apps.size() > 1) {
+        fatal("run simulates one application (the spec names " +
+              std::to_string(spec.apps.size()) + ") — use sweep");
+    }
+    if (!spec.traceFiles.empty())
+        fatal("run synthesizes from an application profile; use replay "
+              "or bench for trace_files specs");
+    rejectSweepAxes(spec, "run");
+    rejectForeignSections(spec, "run", /*allowBench=*/false);
+    resolveCommonDefaults(spec, 0.25);
+    validateResolved(spec);
+    requireVariantMachine(spec);
+    if (dumpSpecRequested(opts, spec))
+        return 0;
 
-    const double scale =
-        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 0.25;
-    const std::string app =
-        opts.count("app") ? opts.at("app") : std::string("lu");
-    auto specs = filterList(opts);
+    const experiments::SystemVariant variant = spec.machine.toVariant();
     // The report looks runs up by canonical name; normalize the input.
+    std::vector<std::string> specs = spec.filters;
     for (auto &s : specs)
         s = filter::canonicalFilterName(s,
                                         variant.smpConfig().addressMap());
 
-    const auto run = experiments::runApp(trace::appByName(app), variant,
-                                         specs, scale);
+    const auto run = experiments::runApp(trace::appByName(spec.apps[0]),
+                                         variant, specs, spec.scale);
     printRunReport(run, variant, specs);
 
     if (variant.snoopBuses > 1) {
@@ -264,22 +416,93 @@ cmdRun(const std::map<std::string, std::string> &opts)
                             : 0.0);
         }
     }
+
+    if (opts.count("json")) {
+        api::Report report("run");
+        report.echoSpec(spec);
+        report.root().set("run",
+                          api::Report::runNode(run, variant, specs));
+        report.writeFile(opts.at("json"));
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
     return 0;
 }
 
 /**
  * The parallel cross-product: applications × system variants, one table
- * row per (app, variant), one column per filter. Runs go through the
- * declarative experiment layer, so the sweep engine simulates every
- * distinct pair concurrently (--jobs) and exactly once.
+ * row per (app, variant), one column per filter. The spec's expand() is
+ * the cross-product expander; the sweep engine simulates every distinct
+ * cell concurrently (--jobs) and exactly once.
  */
 int
 cmdSweep(const std::map<std::string, std::string> &opts)
 {
-    auto specs = filterList(opts);
-    const double scale =
-        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 0.25;
-    unsigned jobs = 0;  // 0 = SweepRunner default
+    api::ExperimentSpec spec = specFromOpts(opts);
+
+    // Axis flags (list-valued, so not part of overlayCommonFlags).
+    if (opts.count("apps")) {
+        const std::string app_list = opts.at("apps");
+        spec.apps.clear();
+        // Flags win over the spec's workload wholesale: expand()
+        // prefers trace_files, so an explicit --apps must clear them.
+        spec.traceFiles.clear();
+        if (toUpper(app_list) == "ALL") {
+            for (const auto &app : trace::paperApps())
+                spec.apps.push_back(app.abbrev);
+        } else {
+            for (const auto &name : split(app_list, ','))
+                spec.apps.push_back(trim(name));
+        }
+    }
+    if (opts.count("procs")) {
+        spec.sweepProcs.clear();
+        for (const auto &n : split(opts.at("procs"), ',')) {
+            unsigned v = 0;
+            if (!parseUnsigned(trim(n), v) || v < 2)
+                fatal("--procs needs counts >= 2, got '" + trim(n) + "'");
+            spec.sweepProcs.push_back(v);
+        }
+    }
+    if (opts.count("buses")) {
+        spec.sweepBuses.clear();
+        for (const auto &n : split(opts.at("buses"), ',')) {
+            unsigned v = 0;
+            if (!parseUnsigned(trim(n), v) || v < 1)
+                fatal("--buses needs counts >= 1, got '" + trim(n) + "'");
+            spec.sweepBuses.push_back(v);
+        }
+    }
+    if (opts.count("no-subblock"))
+        spec.machine.subblocked = false;
+    overlayScaleFlag(opts, spec.scale);
+    overlayFilterFlag(opts, spec.filters);
+
+    // Resolve the sweep defaults: all paper apps, the base variant axes.
+    if (spec.apps.empty() && spec.traceFiles.empty()) {
+        for (const auto &app : trace::paperApps())
+            spec.apps.push_back(app.abbrev);
+    }
+    if (spec.sweepProcs.empty()) {
+        // Trace-file sweeps infer the processor axis from the capture,
+        // exactly as replay/bench do — a multi-section file pins it.
+        spec.sweepProcs = {
+            spec.traceFiles.empty()
+                ? spec.machine.procs
+                : trace::inferReplayProcs(spec.traceFiles,
+                                          spec.machine.procs)};
+    }
+    if (spec.sweepBuses.empty())
+        spec.sweepBuses = {spec.machine.buses};
+    rejectForeignSections(spec, "sweep", /*allowBench=*/false);
+    resolveCommonDefaults(spec, 0.25);
+    validateResolved(spec);
+    requireVariantMachine(spec);
+    if (dumpSpecRequested(opts, spec))
+        return 0;
+
+    unsigned jobs = 0;  // 0 = SweepRunner default (worker knob, not
+                        // experiment identity — deliberately not in the
+                        // spec: results are jobs-independent)
     if (opts.count("jobs")) {
         const int v = std::atoi(opts.at("jobs").c_str());
         if (v < 0)
@@ -287,72 +510,20 @@ cmdSweep(const std::map<std::string, std::string> &opts)
         jobs = static_cast<unsigned>(v);
     }
 
-    std::vector<trace::AppProfile> apps;
-    const std::string app_list =
-        opts.count("apps") ? opts.at("apps") : std::string("all");
-    if (toUpper(app_list) == "ALL") {
-        apps = trace::paperApps();
-    } else {
-        for (const auto &name : split(app_list, ','))
-            apps.push_back(trace::appByName(trim(name)));
-    }
-
-    std::vector<unsigned> proc_counts;
-    if (opts.count("procs")) {
-        for (const auto &n : split(opts.at("procs"), ',')) {
-            unsigned v = 0;
-            if (!parseUnsigned(trim(n), v) || v < 2)
-                fatal("--procs needs counts >= 2, got '" + trim(n) + "'");
-            proc_counts.push_back(v);
-        }
-    } else {
-        proc_counts = {4};
-    }
-
-    // The split-interconnect axis: every (app, procs) pair runs once
-    // per requested bus count.
-    std::vector<unsigned> bus_counts;
-    if (opts.count("buses")) {
-        for (const auto &n : split(opts.at("buses"), ',')) {
-            unsigned v = 0;
-            if (!parseUnsigned(trim(n), v) || v < 1)
-                fatal("--buses needs counts >= 1, got '" + trim(n) + "'");
-            bus_counts.push_back(v);
-        }
-    } else {
-        bus_counts = {1};
-    }
-
     // Results carry canonical filter names ("null" -> "NULL"), so
     // canonicalize the requested specs before using them as lookup keys
     // and column headers.
+    std::vector<std::string> specs = spec.filters;
     {
-        experiments::SystemVariant variant;
-        if (opts.count("no-subblock"))
-            variant.subblocked = false;
-        const auto amap = variant.smpConfig().addressMap();
+        const auto amap =
+            spec.machine.toVariant().smpConfig().addressMap();
         for (auto &s : specs)
             s = filter::canonicalFilterName(s, amap);
     }
 
-    std::vector<experiments::RunRequest> requests;
-    for (unsigned nprocs : proc_counts) {
-        for (unsigned buses : bus_counts) {
-            experiments::SystemVariant variant;
-            variant.nprocs = nprocs;
-            variant.snoopBuses = buses;
-            if (opts.count("no-subblock"))
-                variant.subblocked = false;
-            for (const auto &app : apps) {
-                experiments::RunRequest req;
-                req.app = app;
-                req.variant = variant;
-                req.filterSpecs = specs;
-                req.accessScale = scale;
-                requests.push_back(std::move(req));
-            }
-        }
-    }
+    std::vector<experiments::RunRequest> requests = spec.expand();
+    for (auto &req : requests)
+        req.filterSpecs = specs;
 
     const auto sims_before = experiments::RunCache::instance().simulations();
     const auto sweep_start = std::chrono::steady_clock::now();
@@ -406,6 +577,19 @@ cmdSweep(const std::map<std::string, std::string> &opts)
                     experiments::RunCache::instance().hits()),
                 static_cast<unsigned long long>(std::min(want, simulated)),
                 sweep_seconds > 0 ? sim_refs / 1e6 / sweep_seconds : 0.0);
+
+    if (opts.count("json")) {
+        api::Report report("sweep");
+        report.echoSpec(spec);
+        json::Value arr = json::Value::array();
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            arr.push(api::Report::runNode(runs[i], requests[i].variant,
+                                          specs));
+        }
+        report.root().set("runs", std::move(arr));
+        report.writeFile(opts.at("json"));
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
     return 0;
 }
 
@@ -526,13 +710,15 @@ cmdCapture(const std::map<std::string, std::string> &opts)
     return 0;
 }
 
-/** Processor count a replay file list drives; --procs only matters for
- *  one single-section file (trace::inferReplayProcs rules). */
+/** Processor count a replay file list drives; the fallback — the
+ *  spec's machine.procs, overridden by --procs — only matters for one
+ *  single-section file (trace::inferReplayProcs rules), so a dumped
+ *  spec re-runs on the machine it recorded. */
 unsigned
 replayProcs(const std::vector<std::string> &files,
-            const std::map<std::string, std::string> &opts)
+            const std::map<std::string, std::string> &opts,
+            unsigned fallback)
 {
-    unsigned fallback = 4;
     if (opts.count("procs")) {
         if (!parseUnsigned(opts.at("procs"), fallback) || fallback < 2)
             fatal("replay --procs needs a count >= 2");
@@ -543,21 +729,39 @@ replayProcs(const std::vector<std::string> &files,
 int
 cmdReplay(const std::map<std::string, std::string> &opts)
 {
-    if (!opts.count("in"))
-        fatal("replay needs --in FILE[,FILE...] (one per processor)");
-    std::vector<std::string> files;
-    for (const auto &f : split(opts.at("in"), ','))
-        files.push_back(trim(f));
+    api::ExperimentSpec spec = specFromOpts(opts);
+    if (opts.count("in")) {
+        // Flags win over the spec's workload wholesale (apps and
+        // trace_files are mutually exclusive in the schema).
+        spec.apps.clear();
+        spec.traceFiles.clear();
+        for (const auto &f : split(opts.at("in"), ','))
+            spec.traceFiles.push_back(trim(f));
+    }
+    if (spec.traceFiles.empty())
+        fatal("replay needs --in FILE[,FILE...] (or a spec with "
+              "workload.trace_files)");
+    overlayFilterFlag(opts, spec.filters);
+    if (spec.filters.empty())
+        spec.filters = kDefaultFilters;
+    rejectSweepAxes(spec, "replay");
+    rejectForeignSections(spec, "replay", /*allowBench=*/false);
+    spec.machine.procs =
+        replayProcs(spec.traceFiles, opts, spec.machine.procs);
+    validateResolved(spec);
+    requireVariantMachine(spec);
+    if (dumpSpecRequested(opts, spec))
+        return 0;
 
     // Replays go through the experiment layer: the sources stream from
     // disk (nothing is materialized) and the run cache keys the workload
     // by the files' content digests, so repeated replays of one capture
     // simulate once per process.
     experiments::RunRequest req;
-    req.variant.nprocs = replayProcs(files, opts);
-    req.traceFiles = files;
-    req.filterSpecs = filterList(opts);
-    req.app.name = "replay:" + opts.at("in");
+    req.variant = spec.machine.toVariant();
+    req.traceFiles = spec.traceFiles;
+    req.filterSpecs = spec.filters;
+    req.app.name = "replay:" + spec.traceFiles.front();
     req.app.abbrev = "rp";
 
     std::vector<experiments::RunRequest> requests{req};
@@ -575,60 +779,83 @@ cmdReplay(const std::map<std::string, std::string> &opts)
                    TextTable::pct(100.0 * run.filterStats[i].coverage())});
     }
     table.print();
+
+    if (opts.count("json")) {
+        api::Report report("replay");
+        report.echoSpec(spec);
+        report.root().set("run", api::Report::runNode(run, req.variant,
+                                                      run.filterNames));
+        report.root().set("trace_digests",
+                          api::Report::traceDigestsNode(spec.traceFiles));
+        report.writeFile(opts.at("json"));
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
     return 0;
 }
 
 /**
  * Sustained throughput of the batched delivery pipeline: best of K cold
  * runs (fresh system and sources each time, only run() timed), reported
- * per run and as JSON for trend tracking.
+ * per run and as a structured api::Report for trend tracking.
  */
 int
 cmdBench(const std::map<std::string, std::string> &opts)
 {
     using Clock = std::chrono::steady_clock;
 
-    experiments::SystemVariant variant;
-    if (opts.count("procs")) {
-        if (!parseUnsigned(opts.at("procs"), variant.nprocs) ||
-            variant.nprocs < 2) {
-            fatal("bench --procs needs a count >= 2");
-        }
+    api::ExperimentSpec spec = specFromOpts(opts);
+    overlayCommonFlags(opts, spec);
+    if (opts.count("in")) {
+        spec.traceFiles.clear();
+        for (const auto &f : split(opts.at("in"), ','))
+            spec.traceFiles.push_back(trim(f));
+        spec.apps.clear();
     }
-    const double scale =
-        opts.count("scale") ? std::atof(opts.at("scale").c_str()) : 1.0;
-    unsigned repeat = 3;
-    if (opts.count("repeat") &&
-        (!parseUnsigned(opts.at("repeat"), repeat) || repeat < 1)) {
-        fatal("bench --repeat needs a count >= 1");
-    }
-    const auto specs = filterList(opts);
-    variant.snoopBuses = busCount(opts, 1);
-
-    sim::SmpConfig cfg = variant.smpConfig();
-    cfg.filterSpecs = specs;
     if (opts.count("batch")) {
         unsigned batch = 0;
         if (!parseUnsigned(opts.at("batch"), batch) || batch < 1)
             fatal("bench --batch needs a count >= 1");
-        cfg.batchRefs = batch;
+        spec.machine.batchRefs = batch;
     }
+    if (opts.count("repeat")) {
+        unsigned repeat = 0;
+        if (!parseUnsigned(opts.at("repeat"), repeat) || repeat < 1)
+            fatal("bench --repeat needs a count >= 1");
+        spec.benchRepeat = repeat;
+    }
+    if (spec.apps.empty() && spec.traceFiles.empty())
+        spec.apps = {"lu"};
+    if (spec.apps.size() > 1)
+        fatal("bench drives one workload (the spec names " +
+              std::to_string(spec.apps.size()) + " apps)");
+    if (spec.benchRepeat == 0)
+        spec.benchRepeat = 3;
+    rejectSweepAxes(spec, "bench");
+    rejectForeignSections(spec, "bench", /*allowBench=*/true);
+    resolveCommonDefaults(spec, 1.0);
+    if (!spec.traceFiles.empty()) {
+        spec.machine.procs =
+            replayProcs(spec.traceFiles, opts, spec.machine.procs);
+    }
+    validateResolved(spec);
+    if (dumpSpecRequested(opts, spec))
+        return 0;
 
-    std::vector<std::string> files;
+    // Bench drives SmpSystem directly, so explicit machine geometry in
+    // the spec is honoured here (unlike run/sweep).
+    sim::SmpConfig cfg = spec.smpConfig();
+    const unsigned repeat = spec.benchRepeat;
+
     std::unique_ptr<trace::Workload> workload;
     std::string name;
-    if (opts.count("in")) {
-        for (const auto &f : split(opts.at("in"), ','))
-            files.push_back(trim(f));
-        variant.nprocs = replayProcs(files, opts);
-        cfg.nprocs = variant.nprocs;
-        name = opts.at("in");
+    if (!spec.traceFiles.empty()) {
+        name = spec.traceFiles.front();
+        for (std::size_t i = 1; i < spec.traceFiles.size(); ++i)
+            name += "," + spec.traceFiles[i];
     } else {
-        const std::string app =
-            opts.count("app") ? opts.at("app") : std::string("lu");
         workload = std::make_unique<trace::Workload>(
-            trace::appByName(app), variant.nprocs, scale);
-        name = app;
+            trace::appByName(spec.apps[0]), cfg.nprocs, spec.scale);
+        name = spec.apps[0];
     }
 
     std::uint64_t refs = 0;
@@ -640,7 +867,7 @@ cmdBench(const std::map<std::string, std::string> &opts)
             for (unsigned p = 0; p < cfg.nprocs; ++p)
                 sources.push_back(workload->makeSource(p));
         } else {
-            sources = trace::makeFileSources(files, cfg.nprocs);
+            sources = trace::makeFileSources(spec.traceFiles, cfg.nprocs);
         }
         sys.attachSources(std::move(sources));
         const auto t0 = Clock::now();
@@ -654,7 +881,7 @@ cmdBench(const std::map<std::string, std::string> &opts)
     std::printf("bench %s: %u procs, %u bus%s, %zu filters, batch %u, "
                 "%.2fM refs\n",
                 name.c_str(), cfg.nprocs, cfg.snoopBuses,
-                cfg.snoopBuses == 1 ? "" : "es", specs.size(),
+                cfg.snoopBuses == 1 ? "" : "es", spec.filters.size(),
                 cfg.batchRefs, refs / 1e6);
     for (unsigned r = 0; r < repeat; ++r) {
         std::printf("  run %u: %.3f s  (%.1f Mrefs/s)\n", r + 1,
@@ -664,30 +891,76 @@ cmdBench(const std::map<std::string, std::string> &opts)
                 repeat);
 
     if (opts.count("json")) {
-        std::FILE *jf = std::fopen(opts.at("json").c_str(), "w");
-        if (!jf)
-            fatal("bench: cannot open '" + opts.at("json") + "'");
-        std::fprintf(jf,
-                     "{\n"
-                     "  \"bench\": \"jetty_cli\",\n"
-                     "  \"workload\": \"%s\",\n"
-                     "  \"procs\": %u,\n"
-                     "  \"snoop_buses\": %u,\n"
-                     "  \"batch_refs\": %u,\n"
-                     "  \"filters\": %zu,\n"
-                     "  \"refs\": %llu,\n"
-                     "  \"repeats\": %u,\n"
-                     "  \"best_seconds\": %.6f,\n"
-                     "  \"refs_per_sec\": %.0f\n"
-                     "}\n",
-                     jsonEscape(name).c_str(), cfg.nprocs, cfg.snoopBuses,
-                     cfg.batchRefs, specs.size(),
-                     static_cast<unsigned long long>(refs), repeat, best,
-                     refs / best);
-        std::fclose(jf);
+        api::Report report("bench");
+        report.echoSpec(spec);
+        auto &root = report.root();
+        // The pre-Report emitter's fields, preserved for trend tooling.
+        root.set("bench", "jetty_cli");
+        root.set("workload", name);
+        root.set("procs", cfg.nprocs);
+        root.set("snoop_buses", cfg.snoopBuses);
+        root.set("batch_refs", cfg.batchRefs);
+        root.set("filters",
+                 static_cast<std::uint64_t>(spec.filters.size()));
+        root.set("refs", refs);
+        root.set("repeats", repeat);
+        root.set("best_seconds", best);
+        root.set("refs_per_sec",
+                 api::Report::ratio(static_cast<double>(refs), best));
+        if (!spec.traceFiles.empty()) {
+            root.set("trace_digests",
+                     api::Report::traceDigestsNode(spec.traceFiles));
+        }
+        report.writeFile(opts.at("json"));
         std::printf("wrote %s\n", opts.at("json").c_str());
     }
     return 0;
+}
+
+/** The effective spec of a fuzz campaign (verify::specOfFuzz with the
+ *  configured bus count — the shared construction the repro sidecar
+ *  also uses). */
+api::ExperimentSpec
+specOfFuzz(const verify::FuzzConfig &cfg)
+{
+    return verify::specOfFuzz(cfg, cfg.system.snoopBuses);
+}
+
+/** Apply a loaded spec onto the fuzz defaults. A present machine
+ *  section is authoritative (explicit geometry honoured); an absent
+ *  one keeps the fuzzer's deliberately tiny thrash machine rather than
+ *  silently swapping in the paper variant. Filters fall back to the
+ *  fuzzer's every-family default when the spec names none. Sections
+ *  fuzz cannot honour (workload, sweep, bench) are rejected, matching
+ *  the other subcommands. */
+void
+applySpecToFuzz(const api::ExperimentSpec &spec, verify::FuzzConfig &cfg)
+{
+    if (!spec.apps.empty() || !spec.traceFiles.empty())
+        fatal("fuzz: the spec has a workload section — fuzz synthesizes "
+              "its own adversarial traces (use run/replay/bench)");
+    rejectSweepAxes(spec, "fuzz");
+    if (spec.benchRepeat > 0)
+        fatal("fuzz: the spec has a bench section — use bench");
+
+    if (spec.hasMachine) {
+        const std::vector<std::string> default_filters =
+            cfg.system.filterSpecs;
+        cfg.system = spec.smpConfig();
+        if (spec.filters.empty())
+            cfg.system.filterSpecs = default_filters;
+    } else if (!spec.filters.empty()) {
+        cfg.system.filterSpecs = spec.filters;
+    }
+    cfg.system.checkSafety = false;
+    if (spec.hasFuzz) {
+        cfg.seed = spec.fuzz.seed;
+        cfg.rounds = spec.fuzz.rounds;
+        cfg.refsPerProc = spec.fuzz.refsPerProc;
+        cfg.auditEvery = spec.fuzz.auditEvery;
+        cfg.randomizeBuses = spec.fuzz.randomizeBuses;
+        cfg.timeBudgetSeconds = spec.fuzz.seconds;
+    }
 }
 
 /**
@@ -700,7 +973,10 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
 {
     verify::FuzzConfig cfg;
 
-    // --smoke first: it sets CI-sized defaults that any explicit option
+    if (opts.count("spec"))
+        applySpecToFuzz(api::ExperimentSpec::load(opts.at("spec")), cfg);
+
+    // --smoke next: it sets CI-sized defaults that any explicit option
     // below still overrides.
     if (opts.count("smoke")) {
         cfg.rounds = 64;
@@ -739,8 +1015,7 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
         cfg.system.snoopBuses = busCount(opts, 1);
         cfg.randomizeBuses = false;
     }
-    if (opts.count("filters"))
-        cfg.system.filterSpecs = filterList(opts);
+    overlayFilterFlag(opts, cfg.system.filterSpecs);
     if (opts.count("seconds")) {
         char *end = nullptr;
         const double v = std::strtod(opts.at("seconds").c_str(), &end);
@@ -756,11 +1031,24 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
         cfg.auditEvery = v;
     }
 
+    // The effective campaign must itself be expressible as a valid
+    // spec (the --dump-spec/--spec contract), so flag values the
+    // schema would reject fail here with the schema's diagnostic.
+    {
+        std::string err;
+        api::ExperimentSpec::parse(specOfFuzz(cfg).emit(), &err);
+        if (!err.empty())
+            fatal(err);
+    }
+
+    if (!opts.count("repro") && dumpSpecRequested(opts, specOfFuzz(cfg)))
+        return 0;
+
     if (opts.count("repro")) {
         // Replay a persisted repro through the full differential check,
-        // on the machine its sidecar header recorded — not the default
-        // one — so a failure caught under custom filters or geometry
-        // cannot falsely replay "clean". Explicit --filters overrides.
+        // on the machine its sidecar recorded — not the default one —
+        // so a failure caught under custom filters or geometry cannot
+        // falsely replay "clean". Explicit --filters overrides.
         const auto traces = verify::readReproTraces(opts.at("repro"));
         if (traces.size() < 2) {
             fatal("fuzz --repro: '" + opts.at("repro") + "' holds " +
@@ -776,24 +1064,66 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
         }
         if (!verify::readReproConfig(opts.at("repro"), cfg.system)) {
             warn("no complete sidecar " + opts.at("repro") +
-                 ".txt; replaying under the default configuration");
+                 ".json (or legacy .txt); replaying under the default "
+                 "configuration");
+        }
+        // Restore the recorded campaign's fuzz section too (seed and
+        // budgets), so the --dump-spec/--json echo records the
+        // campaign that caught the failure rather than the defaults.
+        // Flags given explicitly on this invocation still win.
+        {
+            std::string err;
+            const json::Value doc =
+                json::parseFile(opts.at("repro") + ".json", &err);
+            const json::Value *sn =
+                err.empty() ? doc.find("spec") : nullptr;
+            if (sn) {
+                const api::ExperimentSpec sidecar =
+                    api::ExperimentSpec::fromJson(*sn, &err);
+                if (err.empty() && sidecar.hasFuzz) {
+                    if (!opts.count("seed"))
+                        cfg.seed = sidecar.fuzz.seed;
+                    if (!opts.count("rounds"))
+                        cfg.rounds = sidecar.fuzz.rounds;
+                    if (!opts.count("refs"))
+                        cfg.refsPerProc = sidecar.fuzz.refsPerProc;
+                    if (!opts.count("audit-every"))
+                        cfg.auditEvery = sidecar.fuzz.auditEvery;
+                    if (!opts.count("seconds"))
+                        cfg.timeBudgetSeconds = sidecar.fuzz.seconds;
+                    cfg.randomizeBuses = sidecar.fuzz.randomizeBuses;
+                }
+            }
         }
         // Explicit options override what the sidecar restored.
-        if (opts.count("filters"))
-            cfg.system.filterSpecs = filterList(opts);
+        overlayFilterFlag(opts, cfg.system.filterSpecs);
         if (opts.count("buses"))
             cfg.system.snoopBuses = busCount(opts, 1);
         cfg.system.nprocs = static_cast<unsigned>(traces.size());
+        if (dumpSpecRequested(opts, specOfFuzz(cfg)))
+            return 0;
         const std::string failure = verify::TraceFuzzer::checkOnce(
             cfg.system, traces, cfg.auditEvery, true, true, nullptr);
-        if (failure.empty()) {
+        const bool reproduced = !failure.empty();
+        if (reproduced) {
+            std::printf("repro %s reproduces:\n  %s\n",
+                        opts.at("repro").c_str(), failure.c_str());
+        } else {
             std::printf("repro %s: clean (%zu streams)\n",
                         opts.at("repro").c_str(), traces.size());
-            return 0;
         }
-        std::printf("repro %s reproduces:\n  %s\n",
-                    opts.at("repro").c_str(), failure.c_str());
-        return 2;
+        if (opts.count("json")) {
+            api::Report report("fuzz");
+            report.echoSpec(specOfFuzz(cfg));
+            auto &root = report.root();
+            root.set("repro", opts.at("repro"));
+            root.set("reproduced", reproduced);
+            if (reproduced)
+                root.set("failure", failure);
+            report.writeFile(opts.at("json"));
+            std::printf("wrote %s\n", opts.at("json").c_str());
+        }
+        return reproduced ? 2 : 0;
     }
 
     verify::TraceFuzzer fuzzer(cfg);
@@ -807,26 +1137,54 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
                 static_cast<unsigned long long>(result.seed),
                 cfg.system.nprocs, cfg.system.filterSpecs.size());
 
-    if (!result.failed) {
+    std::string repro_path;
+    if (result.failed) {
+        std::printf("fuzz: FAILURE in round %u (round seed %llu)\n"
+                    "  %s: %s\n"
+                    "  shrunk to %llu records\n",
+                    result.failingRound,
+                    static_cast<unsigned long long>(result.roundSeed),
+                    result.invariant.c_str(), result.detail.c_str(),
+                    static_cast<unsigned long long>(result.records()));
+        repro_path =
+            opts.count("out") ? opts.at("out") : std::string("fuzz-repro.jtt");
+        // (writeRepro records the failing round's bus count from the
+        // result, and embeds the machine + campaign budgets as an
+        // ExperimentSpec.)
+        verify::writeRepro(repro_path, result, cfg);
+        std::printf("  repro written to %s (+ %s.json)\n",
+                    repro_path.c_str(), repro_path.c_str());
+    } else {
         std::printf("fuzz: no invariant violations, golden and batched "
                     "states bit-exact\n");
-        return 0;
     }
 
-    std::printf("fuzz: FAILURE in round %u (round seed %llu)\n"
-                "  %s: %s\n"
-                "  shrunk to %llu records\n",
-                result.failingRound,
-                static_cast<unsigned long long>(result.roundSeed),
-                result.invariant.c_str(), result.detail.c_str(),
-                static_cast<unsigned long long>(result.records()));
-    const std::string out =
-        opts.count("out") ? opts.at("out") : std::string("fuzz-repro.jtt");
-    // (writeRepro records the failing round's bus count from the result.)
-    verify::writeRepro(out, result, cfg.system);
-    std::printf("  repro written to %s (+ %s.txt)\n", out.c_str(),
-                out.c_str());
-    return 2;
+    if (opts.count("json")) {
+        api::Report report("fuzz");
+        report.echoSpec(specOfFuzz(cfg));
+        auto &root = report.root();
+        root.set("rounds_run", result.roundsRun);
+        root.set("total_refs", result.totalRefs);
+        json::Value cov = json::Value::object();
+        cov.set("cells_covered",
+                static_cast<std::uint64_t>(result.coverage.cellsCovered()));
+        cov.set("cells_tracked",
+                static_cast<std::uint64_t>(result.coverage.cellsTracked()));
+        root.set("coverage", std::move(cov));
+        root.set("failed", result.failed);
+        if (result.failed) {
+            root.set("invariant", result.invariant);
+            root.set("detail", result.detail);
+            root.set("failing_round", result.failingRound);
+            root.set("round_seed", result.roundSeed);
+            root.set("snoop_buses", result.snoopBuses);
+            root.set("records", result.records());
+            root.set("repro", repro_path);
+        }
+        report.writeFile(opts.at("json"));
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
+    return result.failed ? 2 : 0;
 }
 
 } // namespace
@@ -836,7 +1194,9 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
-                             "capture|trace|replay|bench|fuzz [options]\n");
+                             "capture|trace|replay|bench|fuzz [options]\n"
+                             "       (run/sweep/replay/bench/fuzz accept "
+                             "--spec FILE / --dump-spec / --json FILE)\n");
         return 1;
     }
     const std::string cmd = argv[1];
