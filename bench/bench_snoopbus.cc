@@ -52,6 +52,7 @@
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 #include "verify/golden_smp.hh"
 
@@ -236,31 +237,33 @@ measure(const trace::AppProfile &profile, double scale, unsigned repeats,
 
     // The pre-change pipeline: per-reference synthesis + scalar
     // delivery + immediate snoop evaluation. One system is kept for the
-    // correctness gates below.
+    // correctness gates below; times are the median over the repeats.
     sim::SmpSystem scalar_sys(base);
+    std::vector<double> scalar_times;
     {
-        const double s = runScalarSynth(scalar_sys, workload, base.nprocs);
-        m.scalarSeconds = s;
+        scalar_times.push_back(
+            runScalarSynth(scalar_sys, workload, base.nprocs));
         m.refs = scalar_sys.stats().aggregate().accesses;
     }
     for (unsigned r = 1; r < repeats; ++r) {
         sim::SmpSystem sys(base);
-        m.scalarSeconds = std::min(
-            m.scalarSeconds, runScalarSynth(sys, workload, base.nprocs));
+        scalar_times.push_back(
+            runScalarSynth(sys, workload, base.nprocs));
     }
+    m.scalarSeconds = medianInPlace(scalar_times);
 
     // Decomposition row: the same scalar delivery over the materialized
     // capture, isolating the synthesis share of the end-to-end win (and
     // proving, via the gate below, that the capture replays the
     // synthesized stream exactly).
     std::unique_ptr<sim::SmpSystem> scalar_replay_sys;
+    std::vector<double> replay_times;
     for (unsigned r = 0; r < repeats; ++r) {
         auto sys = std::make_unique<sim::SmpSystem>(base);
-        const double s = runScalar(*sys, traces);
-        m.scalarReplaySeconds =
-            r == 0 ? s : std::min(m.scalarReplaySeconds, s);
+        replay_times.push_back(runScalar(*sys, traces));
         scalar_replay_sys = std::move(sys);
     }
+    m.scalarReplaySeconds = medianInPlace(replay_times);
     requireIdentical(scalar_sys, *scalar_replay_sys,
                      profile.abbrev + " synthesized vs replayed scalar",
                      /*andFilters=*/true);
@@ -273,12 +276,13 @@ measure(const trace::AppProfile &profile, double scale, unsigned repeats,
         BusRow row;
         row.buses = buses;
         std::unique_ptr<sim::SmpSystem> kept;
+        std::vector<double> batched_times;
         for (unsigned r = 0; r < repeats; ++r) {
             auto sys = std::make_unique<sim::SmpSystem>(cfg);
-            const double s = runBatched(*sys, traces);
-            row.seconds = r == 0 ? s : std::min(row.seconds, s);
+            batched_times.push_back(runBatched(*sys, traces));
             kept = std::move(sys);
         }
+        row.seconds = medianInPlace(batched_times);
 
         const auto contention =
             sim::evaluateBusContention(kept->stats());

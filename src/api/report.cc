@@ -4,6 +4,7 @@
 
 #include "sim/latency.hh"
 #include "trace/trace_file.hh"
+#include "util/simd.hh"
 
 namespace jetty::api
 {
@@ -13,6 +14,13 @@ Report::Report(const std::string &kind)
     root_ = json::Value::object();
     root_.set("jetty_report", kVersion);
     root_.set("kind", kind);
+    // Kernel provenance: which SIMD tier produced these numbers and at
+    // what 64-bit width. Simulated numbers never depend on the tier
+    // (util/simd.hh), but committed BENCH_*.json timings do, and
+    // bench_compare refuses to call a cross-tier slowdown a regression
+    // without this context.
+    root_.set("simd_isa", simd::isaName());
+    root_.set("simd_width", simd::lanesU64());
 }
 
 void

@@ -12,7 +12,12 @@
  *
  * Envelope (every report):
  *   { "jetty_report": 1, "kind": "<run|sweep|bench|fuzz|...>",
+ *     "simd_isa": "<avx2|sse2|neon|scalar>", "simd_width": N,
  *     "spec": { ...ExperimentSpec echo... }, ...kind payload... }
+ *
+ * simd_isa/simd_width record which util/simd.hh kernel tier produced the
+ * numbers (run-time resolved on x86): provenance for the committed
+ * BENCH_*.json baselines and for tools/bench_compare.
  *
  * The shared sub-trees are built by the static node builders below, so
  * a field rename is one edit, not six.

@@ -3,6 +3,7 @@
 #include "energy/sram_array.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace jetty::filter
 {
@@ -17,8 +18,8 @@ ExcludeJetty::ExcludeJetty(const ExcludeJettyConfig &cfg,
     if (amap.physAddrBits <= amap.blockOffsetBits + setBits_)
         fatal("ExcludeJetty: address space too small");
     tagBits_ = amap.physAddrBits - amap.blockOffsetBits - setBits_;
-    entries_.assign(static_cast<std::size_t>(cfg.sets) * cfg.assoc,
-                    Entry{});
+    presTag_.assign(static_cast<std::size_t>(cfg.sets) * cfg.assoc, 0);
+    lastUse_.assign(presTag_.size(), 0);
 }
 
 std::uint64_t
@@ -36,16 +37,13 @@ ExcludeJetty::tagOf(Addr unitAddr) const
 bool
 ExcludeJetty::probe(Addr unitAddr)
 {
-    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
-    const Addr tag = tagOf(unitAddr);
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Entry &e = set[w];
-        if (e.present && e.tag == tag) {
-            e.lastUse = ++useClock_;
-            return true;
-        }
-    }
-    return false;
+    const std::size_t base = setIndex(unitAddr) * cfg_.assoc;
+    const std::uint64_t key = (tagOf(unitAddr) << 1) | 1;
+    const int w = simd::findEqU64(&presTag_[base], cfg_.assoc, key);
+    if (w < 0)
+        return false;
+    lastUse_[base + static_cast<unsigned>(w)] = ++useClock_;
+    return true;
 }
 
 void
@@ -56,50 +54,45 @@ ExcludeJetty::onSnoopMiss(Addr unitAddr, bool blockPresent)
     if (blockPresent)
         return;
 
-    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
-    const Addr tag = tagOf(unitAddr);
+    const std::size_t base = setIndex(unitAddr) * cfg_.assoc;
+    const std::uint64_t key = (tagOf(unitAddr) << 1) | 1;
 
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Entry &e = set[w];
-        if (e.present && e.tag == tag) {
-            e.lastUse = ++useClock_;
-            return;
-        }
+    const int hit = simd::findEqU64(&presTag_[base], cfg_.assoc, key);
+    if (hit >= 0) {
+        lastUse_[base + static_cast<unsigned>(hit)] = ++useClock_;
+        return;
     }
 
     // Allocate: prefer a not-present way, else LRU.
-    Entry *victim = nullptr;
+    std::size_t victim = base;
+    bool found_free = false;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (!set[w].present) {
-            victim = &set[w];
+        if (!(presTag_[base + w] & 1)) {
+            victim = base + w;
+            found_free = true;
             break;
         }
     }
-    if (!victim) {
-        victim = set;
+    if (!found_free) {
         for (unsigned w = 1; w < cfg_.assoc; ++w) {
-            if (set[w].lastUse < victim->lastUse)
-                victim = &set[w];
+            if (lastUse_[base + w] < lastUse_[victim])
+                victim = base + w;
         }
     }
-    victim->tag = tag;
-    victim->present = true;
-    victim->lastUse = ++useClock_;
+    presTag_[victim] = key;
+    lastUse_[victim] = ++useClock_;
 }
 
 void
 ExcludeJetty::onFill(Addr unitAddr)
 {
-    Entry *const set = &entries_[setIndex(unitAddr) * cfg_.assoc];
-    const Addr tag = tagOf(unitAddr);
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Entry &e = set[w];
-        if (e.present && e.tag == tag) {
-            // Part of the block is now cached: the guarantee is void.
-            e.present = false;
-            return;
-        }
-    }
+    const std::size_t base = setIndex(unitAddr) * cfg_.assoc;
+    const std::uint64_t key = (tagOf(unitAddr) << 1) | 1;
+    const int w = simd::findEqU64(&presTag_[base], cfg_.assoc, key);
+    // Part of the block is now cached: the guarantee is void. The tag
+    // stays (exactly the old Entry's cleared present bit).
+    if (w >= 0)
+        presTag_[base + static_cast<unsigned>(w)] &= ~std::uint64_t{1};
 }
 
 void
@@ -119,8 +112,10 @@ ExcludeJetty::applyBatch(const BankEvent *evs, std::size_t n,
 void
 ExcludeJetty::clear()
 {
-    for (auto &e : entries_)
-        e = Entry{};
+    for (auto &w : presTag_)
+        w = 0;
+    for (auto &u : lastUse_)
+        u = 0;
     useClock_ = 0;
 }
 

@@ -20,9 +20,9 @@
 #define JETTY_CORE_EXCLUDE_JETTY_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "core/snoop_filter.hh"
+#include "util/arena.hh"
 
 namespace jetty::filter
 {
@@ -60,13 +60,6 @@ class ExcludeJetty : public SnoopFilter
     unsigned storedTagBits() const { return tagBits_; }
 
   private:
-    struct Entry
-    {
-        Addr tag = 0;
-        bool present = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint64_t setIndex(Addr unitAddr) const;
     Addr tagOf(Addr unitAddr) const;
 
@@ -74,9 +67,16 @@ class ExcludeJetty : public SnoopFilter
     AddressMap amap_;
     unsigned setBits_;
     unsigned tagBits_;
-    /** Flat [set * assoc + way] layout: one contiguous allocation, so a
-     *  probe touches a single cache-line-friendly run of ways. */
-    std::vector<Entry> entries_;
+    /**
+     * Packed entry words, flat [set * assoc + way]: (tag << 1) | present,
+     * cache-line aligned. A probe is one equality scan of a set's ways
+     * for (tag << 1) | 1 (a cleared present bit can never match — the
+     * key's low bit is set), which the SIMD kernel compares a whole
+     * vector of ways at a time. LRU clocks live in a parallel array so
+     * the scan stays dense.
+     */
+    util::AlignedVec<std::uint64_t> presTag_;
+    util::AlignedVec<std::uint64_t> lastUse_;
     std::uint64_t useClock_ = 0;
 };
 

@@ -25,15 +25,20 @@ HybridJetty::applyBatch(const BankEvent *evs, std::size_t n, FilterStats &st)
         return;
     }
     // The canonical IJ+EJ hybrid under the shared protocol, with both
-    // components called directly (qualified: no virtual dispatch).
-    replayBankEvents(
-        evs, n, st,
-        [this](Addr a) {
-            // Both components are probed in parallel in hardware, so
-            // both are evaluated (no short-circuit), as in probe().
-            const bool ij = ijTyped_->IncludeJetty::probe(a);
+    // components called directly (qualified: no virtual dispatch). The
+    // IJ side is pure, so a run of snoops batch-probes it through the
+    // SIMD gather; the EJ side touches LRU state on a hit and therefore
+    // stays a per-event call, evaluated in event order exactly as the
+    // one-at-a-time walk did. Both components are probed in parallel in
+    // hardware, so both are evaluated (no short-circuit), as in probe().
+    replayBankEventsSegmented(
+        evs, n, st, addrScratch_, preScratch_,
+        [this](const Addr *addrs, std::size_t m, std::uint8_t *out) {
+            ijTyped_->probeFilteredMany(addrs, m, out);
+        },
+        [this](Addr a, std::uint8_t pre) {
             const bool ej = ejTyped_->ExcludeJetty::probe(a);
-            return ij || ej;
+            return pre != 0 || ej;
         },
         [this](Addr a, bool blockPresent) {
             ejTyped_->ExcludeJetty::onSnoopMiss(a, blockPresent);

@@ -10,7 +10,9 @@
 #ifndef JETTY_CORE_HYBRID_JETTY_HH
 #define JETTY_CORE_HYBRID_JETTY_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/snoop_filter.hh"
 
@@ -60,6 +62,10 @@ class HybridJetty : public SnoopFilter
      *  applyBatch. */
     IncludeJetty *ijTyped_ = nullptr;
     ExcludeJetty *ejTyped_ = nullptr;
+
+    /** Reusable segment buffers for the segmented applyBatch. */
+    std::vector<Addr> addrScratch_;
+    std::vector<std::uint8_t> preScratch_;
 };
 
 } // namespace jetty::filter

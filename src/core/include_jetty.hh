@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/snoop_filter.hh"
+#include "util/arena.hh"
 
 namespace jetty::filter
 {
@@ -75,6 +76,17 @@ class IncludeJetty : public SnoopFilter
     /** The index of sub-array @p i for @p unitAddr (exposed for tests). */
     std::uint64_t indexOf(Addr unitAddr, unsigned i) const;
 
+    /**
+     * The pure batch probe: for each of @p n addresses, OR a 1 into
+     * @p outFiltered[k] when any sub-array's p-bit is clear (the unit is
+     * guaranteed absent). Exactly @c probe over the batch — probing
+     * mutates nothing, which is what lets the segmented replay hoist
+     * it over a run of snoops. One simd::pbitAbsentAccum sweep per
+     * sub-array, so the inner loop gathers from a single packed array.
+     */
+    void probeFilteredMany(const Addr *addrs, std::size_t n,
+                           std::uint8_t *outFiltered) const;
+
     /** Shape of one p-bit array as rows x cols (Table 4's organization:
      *  a 2^E-bit array folded into a near-square register-file shape). */
     void pbitArrayShape(std::uint64_t &rows, std::uint64_t &cols) const;
@@ -93,12 +105,15 @@ class IncludeJetty : public SnoopFilter
     unsigned counterBits_;
     /** Flat [array << entryBits | entry] layout: the N sub-arrays sit
      *  contiguously, so an update walks one allocation. */
-    std::vector<std::uint32_t> counts_;
+    util::AlignedVec<std::uint32_t> counts_;
     /** The p-bits proper, packed 64 per word and kept exactly equal to
      *  (count != 0) — the tiny array a snoop actually reads (Figure
      *  3b/c separates p-bit and cnt arrays the same way), so a probe
      *  touches N bits instead of N counters. */
-    std::vector<std::uint64_t> pbits_;
+    util::AlignedVec<std::uint64_t> pbits_;
+    /** Reusable segment buffers for the segmented applyBatch. */
+    std::vector<Addr> addrScratch_;
+    std::vector<std::uint8_t> preScratch_;
 };
 
 } // namespace jetty::filter

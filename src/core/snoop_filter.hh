@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "energy/accountant.hh"
 #include "energy/technology.hh"
@@ -128,13 +129,43 @@ struct BankEvent
 };
 
 /**
- * The single copy of the batch-replay bookkeeping protocol: which
- * counters each arm bumps, when the safety violation is counted, and
- * when the miss hook (exclude-side allocation) fires. Every applyBatch
- * — the generic virtual walk and the devirtualized family overrides —
- * instantiates this with its own probe/miss/fill/evict callables, so
- * the protocol cannot drift between copies while the inner calls stay
- * direct.
+ * The single copy of the snoop-arm bookkeeping: which counters a
+ * verdict bumps, when the safety violation is counted, and when the
+ * miss hook (exclude-side allocation) fires. Both replay walks below —
+ * and through them every applyBatch in the tree — fold each snoop
+ * verdict through this one function, so the protocol cannot drift
+ * between the scalar and the batch-probed paths.
+ */
+template <typename MissFn>
+inline void
+applySnoopVerdict(FilterStats &st, const BankEvent &ev, bool filtered,
+                  MissFn &&missFn)
+{
+    ++st.probes;
+    if (ev.unitInL2) {
+        if (filtered) {
+            ++st.filtered;
+            ++st.safetyViolations;
+        }
+    } else {
+        ++st.wouldMiss;
+        if (filtered) {
+            ++st.filtered;
+            ++st.filteredWouldMiss;
+        } else {
+            missFn(ev.unitAddr, ev.blockInL2);
+            ++st.snoopAllocs;
+        }
+    }
+}
+
+/**
+ * The batch-replay protocol walk: one event at a time, probe verdicts
+ * through applySnoopVerdict. Every applyBatch — the generic virtual
+ * walk and the devirtualized family overrides — instantiates this (or
+ * the segmented variant below) with its own probe/miss/fill/evict
+ * callables, so the protocol stays in one place while the inner calls
+ * stay direct.
  */
 template <typename ProbeFn, typename MissFn, typename FillFn,
           typename EvictFn>
@@ -146,26 +177,9 @@ replayBankEvents(const BankEvent *evs, std::size_t n, FilterStats &st,
     for (std::size_t i = 0; i < n; ++i) {
         const BankEvent &ev = evs[i];
         switch (ev.kind) {
-          case BankEvent::Kind::Snoop: {
-            ++st.probes;
-            const bool filtered = probeFn(ev.unitAddr);
-            if (ev.unitInL2) {
-                if (filtered) {
-                    ++st.filtered;
-                    ++st.safetyViolations;
-                }
-            } else {
-                ++st.wouldMiss;
-                if (filtered) {
-                    ++st.filtered;
-                    ++st.filteredWouldMiss;
-                } else {
-                    missFn(ev.unitAddr, ev.blockInL2);
-                    ++st.snoopAllocs;
-                }
-            }
+          case BankEvent::Kind::Snoop:
+            applySnoopVerdict(st, ev, probeFn(ev.unitAddr), missFn);
             break;
-          }
           case BankEvent::Kind::Fill:
             fillFn(ev.unitAddr);
             ++st.fillUpdates;
@@ -175,6 +189,64 @@ replayBankEvents(const BankEvent *evs, std::size_t n, FilterStats &st,
             ++st.evictUpdates;
             break;
         }
+    }
+}
+
+/**
+ * The segmented batch-replay walk for filters whose probe is pure (no
+ * state change): runs of consecutive Snoop events are pre-probed as one
+ * data-parallel batch (the SIMD path in util/simd.hh), then the
+ * verdicts are folded through applySnoopVerdict in event order.
+ *
+ * @p preFn (const Addr*, n, std::uint8_t* out) fills out[k] with the
+ * pure part of the verdict for each address of the segment; @p probeFn
+ * (Addr, std::uint8_t pre) combines it with any stateful per-event part
+ * (the hybrid's exclude probe) and returns the final verdict. Because
+ * the pure part reads state that only Fill/Evict events mutate — and
+ * those delimit the segments — hoisting it over the segment is
+ * result-identical to the one-at-a-time walk for every event order.
+ *
+ * @p addrScratch / @p preScratch are caller-owned reusable buffers.
+ */
+template <typename PreFn, typename ProbeFn, typename MissFn,
+          typename FillFn, typename EvictFn>
+inline void
+replayBankEventsSegmented(const BankEvent *evs, std::size_t n,
+                          FilterStats &st, std::vector<Addr> &addrScratch,
+                          std::vector<std::uint8_t> &preScratch,
+                          PreFn &&preFn, ProbeFn &&probeFn, MissFn &&missFn,
+                          FillFn &&fillFn, EvictFn &&evictFn)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        const BankEvent &ev = evs[i];
+        if (ev.kind == BankEvent::Kind::Fill) {
+            fillFn(ev.unitAddr);
+            ++st.fillUpdates;
+            ++i;
+            continue;
+        }
+        if (ev.kind == BankEvent::Kind::Evict) {
+            evictFn(ev.unitAddr);
+            ++st.evictUpdates;
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < n && evs[j].kind == BankEvent::Kind::Snoop)
+            ++j;
+        const std::size_t m = j - i;
+        addrScratch.resize(m);
+        preScratch.assign(m, 0);
+        for (std::size_t k = 0; k < m; ++k)
+            addrScratch[k] = evs[i + k].unitAddr;
+        preFn(addrScratch.data(), m, preScratch.data());
+        for (std::size_t k = 0; k < m; ++k) {
+            applySnoopVerdict(
+                st, evs[i + k],
+                probeFn(evs[i + k].unitAddr, preScratch[k]), missFn);
+        }
+        i = j;
     }
 }
 

@@ -5,6 +5,7 @@
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace jetty::mem
 {
@@ -75,11 +76,7 @@ L2Cache::findWay(Addr a) const
 {
     const std::size_t base = frameOf(setIndex(a), 0);
     const std::uint64_t want = (tagOf(a) << 1) | 1;
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (tagValid_[base + w] == want)
-            return static_cast<int>(w);
-    }
-    return -1;
+    return simd::findEqU64(&tagValid_[base], cfg_.assoc, want);
 }
 
 L2LookupResult

@@ -17,6 +17,7 @@
 #include "coherence/moesi.hh"
 #include "mem/cache_config.hh"
 #include "mem/cache_events.hh"
+#include "util/arena.hh"
 #include "util/types.hh"
 
 namespace jetty::mem
@@ -192,8 +193,8 @@ class L2Cache
     // LRU clocks are only touched by local accesses and fills, so the
     // snoop-heavy paths never pull them into the host's caches.
     L2Config cfg_;
-    std::vector<std::uint64_t> tagValid_;  //!< [frame] (tag << 1) | valid
-    std::vector<std::uint64_t> lastUse_;   //!< [frame] LRU clocks
+    util::AlignedVec<std::uint64_t> tagValid_;  //!< [frame] (tag << 1) | valid
+    util::AlignedVec<std::uint64_t> lastUse_;   //!< [frame] LRU clocks
     std::vector<coherence::State> units_;  //!< [frame * subblocks + unit]
     std::uint64_t blockMask_;
     std::uint64_t unitMask_;

@@ -65,8 +65,33 @@ class WritebackBuffer
     bool
     maybeContains(Addr unitAddr) const
     {
-        return (signature_ & signatureBit(unitAddr)) != 0;
+        return (signature_ & signatureBitOf(unitAddr)) != 0;
     }
+
+    /**
+     * maybeContains() with the signature bit already in hand: the
+     * broadcast path computes signatureBitOf(addr) once and tests it
+     * against every remote node's buffer instead of re-hashing the
+     * address per node.
+     */
+    bool
+    maybeContainsSig(std::uint64_t bit) const
+    {
+        return (signature_ & bit) != 0;
+    }
+
+    /** Signature bit of @p unitAddr: a multiplicative hash over the
+     *  unit-granular address bits, mapped onto a 64-bit mask. Matches
+     *  simd::oneHotHash(preShift=5, mul=golden-ratio, postShift=58). */
+    static std::uint64_t
+    signatureBitOf(Addr unitAddr)
+    {
+        return std::uint64_t{1}
+               << (((unitAddr >> 5) * 0x9E3779B97F4A7C15ull) >> 58);
+    }
+
+    /** The current Bloom signature (tests and verification). */
+    std::uint64_t signature() const { return signature_; }
 
     /**
      * Remove and return the entry for @p unitAddr (reclaim by the owner,
@@ -100,15 +125,6 @@ class WritebackBuffer
     const std::deque<WbEntry> &entries() const { return entries_; }
 
   private:
-    /** Signature bit of @p unitAddr: a multiplicative hash over the
-     *  unit-granular address bits, mapped onto a 64-bit mask. */
-    static std::uint64_t
-    signatureBit(Addr unitAddr)
-    {
-        return std::uint64_t{1}
-               << (((unitAddr >> 5) * 0x9E3779B97F4A7C15ull) >> 58);
-    }
-
     /** Recompute the signature from the live entries (<= capacity). */
     void rebuildSignature();
 

@@ -44,6 +44,42 @@ SmpSystem::SmpSystem(const SmpConfig &cfg)
         node->l2->addListener(node->bank.get());
         nodes_.push_back(std::move(node));
     }
+    if (cfg.replayThreads > 1)
+        replayPool_ = std::make_unique<WorkerPool>(cfg.replayThreads);
+}
+
+void
+SmpSystem::flushAllBanks()
+{
+    if (!replayPool_) {
+        for (auto &node : nodes_)
+            node->bank->flushDeferred();
+        return;
+    }
+    // Parallel replay over independent (node, filter) tasks. Each task
+    // replays one bank's bus queues through one filter, bus-major —
+    // exactly the sequential flush's work unit — touching only that
+    // filter and its stats slot, so any schedule yields the sequential
+    // result. prepareFlush snapshots the violation counters up front;
+    // completeFlush takes the panic decision after the join, walking
+    // nodes (and filters within each bank) in ascending order, so a
+    // safety failure reports deterministically however the replay ran.
+    replayTasks_.clear();
+    preparedBanks_.clear();
+    for (auto &node : nodes_) {
+        filter::FilterBank *const bank = node->bank.get();
+        if (!bank->prepareFlush())
+            continue;
+        preparedBanks_.push_back(bank);
+        for (std::size_t f = 0; f < bank->size(); ++f)
+            replayTasks_.push_back({bank, f});
+    }
+    replayPool_->parallelFor(
+        replayTasks_.size(), [this](std::size_t t) {
+            replayTasks_[t].bank->replayOne(replayTasks_[t].filterIdx);
+        });
+    for (filter::FilterBank *bank : preparedBanks_)
+        bank->completeFlush();
 }
 
 void
@@ -198,8 +234,7 @@ SmpSystem::run()
         // Chunk boundary: replay every node's queued filter events
         // through the batched probe path before the queues grow past
         // the cache-friendly chunk size.
-        for (auto &node : nodes_)
-            node->bank->flushDeferred();
+        flushAllBanks();
     }
 
     deferActive_ = false;
@@ -279,10 +314,14 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
 
     if (deferActive_) {
         // The batched hot path: identical coherence transitions, but the
-        // write-back scan is gated by the exact-safe presence signature,
-        // the L2 snoop reuses the ground-truth probe's way lookup, and
-        // the filter bank observation is queued for the chunk-end
-        // batched replay instead of walking every filter now.
+        // write-back scan is gated by the exact-safe presence signature
+        // (the address hashes to its signature bit once, tested against
+        // every remote buffer), the L2 snoop reuses the ground-truth
+        // probe's way lookup, and the filter bank observation is queued
+        // for the chunk-end batched replay instead of walking every
+        // filter now.
+        const std::uint64_t sig_bit =
+            mem::WritebackBuffer::signatureBitOf(unitAddr);
         for (unsigned q = 0; q < nodes_.size(); ++q) {
             if (q == requester)
                 continue;
@@ -291,7 +330,7 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
 
             bool copy_here = false;
             const bool wb_hit =
-                node.wb->maybeContains(unitAddr) &&
+                node.wb->maybeContainsSig(sig_bit) &&
                 node.wb->snoop(unitAddr, op == BusOp::BusReadX ||
                                              op == BusOp::BusUpgrade);
             if (wb_hit) {

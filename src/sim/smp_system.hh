@@ -27,6 +27,7 @@
 #include "sim/interconnect.hh"
 #include "sim/observer.hh"
 #include "sim/sim_stats.hh"
+#include "sim/worker_pool.hh"
 #include "trace/trace_source.hh"
 
 namespace jetty::sim
@@ -70,6 +71,18 @@ struct SmpConfig
      * snoopBuses > 1; safety never does).
      */
     unsigned snoopBuses = 1;
+
+    /**
+     * Total threads (including the simulation thread) the chunk-end
+     * filter replay of run() may use. 1 keeps the replay sequential.
+     * The replay parallelizes over independent (node, filter) tasks —
+     * each task replays its bank's bus queues bus-major, exactly as the
+     * sequential flush does, and the safety-panic decision is taken
+     * after the join in deterministic (node, filter) order — so every
+     * simulated number is bit-identical for every value, at any bus
+     * count; like batchRefs this is purely a wall-clock knob.
+     */
+    unsigned replayThreads = 1;
 
     /** Derive the filters' address-space facts. */
     filter::AddressMap addressMap() const;
@@ -168,6 +181,11 @@ class SmpSystem
      *  returns false) when the stream is exhausted. */
     bool refillBatch(Node &node);
 
+    /** Chunk-end flush of every node's deferred filter queues — over
+     *  the replay pool when cfg_.replayThreads > 1, else sequential.
+     *  Bit-identical either way (see SmpConfig::replayThreads). */
+    void flushAllBanks();
+
     /** Place a transaction on its home snoop bus: snoop all other
      *  nodes, count remote copies, transition their states. While the
      *  banks are deferred (the batched run() hot loop) the per-node
@@ -201,6 +219,16 @@ class SmpSystem
     SimObserver *observer_ = nullptr;
     bool probeObserved_ = false;  //!< any bank has a probe observer
     bool deferActive_ = false;    //!< run() hot loop: banks are queueing
+
+    /** One parallel replay task: a bank and the filter it replays. */
+    struct ReplayTask
+    {
+        filter::FilterBank *bank;
+        std::size_t filterIdx;
+    };
+    std::unique_ptr<WorkerPool> replayPool_;  //!< replayThreads > 1 only
+    std::vector<ReplayTask> replayTasks_;     //!< flushAllBanks scratch
+    std::vector<filter::FilterBank *> preparedBanks_;
 };
 
 } // namespace jetty::sim

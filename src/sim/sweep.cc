@@ -25,45 +25,15 @@ SweepRunner::defaultJobs()
 }
 
 SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs >= 1 ? jobs : defaultJobs())
+    : jobs_(jobs >= 1 ? jobs : defaultJobs()), pool_(jobs_)
 {
-    // A single worker would only add queue overhead: jobs_ == 1 runs
-    // inline on the calling thread (see run()), which also keeps the
-    // serial reference path trivially schedule-free.
-    if (jobs_ < 2)
-        return;
-    workers_.reserve(jobs_);
-    for (unsigned w = 0; w < jobs_; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+    // The pool spawns jobs_ - 1 workers and the calling thread
+    // participates in every batch, so total parallelism is jobs_;
+    // jobs_ == 1 runs inline, keeping the serial reference path
+    // trivially schedule-free.
 }
 
-SweepRunner::~SweepRunner()
-{
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto &worker : workers_)
-        worker.join();
-}
-
-void
-SweepRunner::workerLoop()
-{
-    for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty())
-                return;  // stop_ set and the queue drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
-        }
-        task();
-    }
-}
+SweepRunner::~SweepRunner() = default;
 
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepJob> &jobList)
@@ -71,43 +41,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobList)
     const auto batch_start = std::chrono::steady_clock::now();
     std::vector<SweepResult> results(jobList.size());
 
-    if (workers_.empty()) {
-        for (std::size_t i = 0; i < jobList.size(); ++i)
-            results[i] = runOne(jobList[i]);
-        lastBatchSeconds_ = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                batch_start)
-                                .count();
-        return results;
-    }
+    // Each task writes its own slot, so the result vector is identical
+    // whatever order the pool executes jobs.
+    pool_.parallelFor(jobList.size(), [&results, &jobList](std::size_t i) {
+        results[i] = runOne(jobList[i]);
+    });
 
-    // Per-batch completion state: each task writes its own slot, so the
-    // result vector is identical whatever order the workers pick jobs.
-    struct Batch
-    {
-        std::mutex mu;
-        std::condition_variable done;
-        std::size_t remaining = 0;
-    };
-    auto batch = std::make_shared<Batch>();
-    batch->remaining = jobList.size();
-
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (std::size_t i = 0; i < jobList.size(); ++i) {
-            queue_.push_back([&results, &jobList, i, batch] {
-                results[i] = runOne(jobList[i]);
-                std::lock_guard<std::mutex> done_lock(batch->mu);
-                if (--batch->remaining == 0)
-                    batch->done.notify_all();
-            });
-        }
-    }
-    cv_.notify_all();
-
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
-    lock.unlock();
     lastBatchSeconds_ = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - batch_start)
                             .count();

@@ -19,19 +19,15 @@
 #define JETTY_SIM_SWEEP_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/filter_bank.hh"
 #include "energy/accountant.hh"
 #include "sim/sim_stats.hh"
 #include "sim/smp_system.hh"
+#include "sim/worker_pool.hh"
 #include "trace/app_profile.hh"
 
 namespace jetty::sim
@@ -153,15 +149,9 @@ class SweepRunner
     static SweepResult runOne(const SweepJob &job);
 
   private:
-    void workerLoop();
-
     unsigned jobs_;
     std::atomic<double> lastBatchSeconds_{0};
-    std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stop_ = false;
+    WorkerPool pool_;  //!< shared engine (sim/worker_pool.hh)
 };
 
 } // namespace jetty::sim

@@ -1,0 +1,97 @@
+#include "sim/worker_pool.hh"
+
+namespace jetty::sim
+{
+
+WorkerPool::WorkerPool(unsigned threads)
+    : threads_(threads >= 1 ? threads : 1)
+{
+    if (threads_ < 2)
+        return;
+    workers_.reserve(threads_ - 1);
+    for (unsigned w = 0; w + 1 < threads_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and the queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+WorkerPool::drain(const std::shared_ptr<ParJob> &job)
+{
+    const std::size_t n = job->n;
+    for (;;) {
+        const std::size_t i =
+            job->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        (*job->fn)(i);
+        if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            n) {
+            std::lock_guard<std::mutex> lock(job->mu);
+            job->done.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto job = std::make_shared<ParJob>();
+    job->fn = &fn;
+    job->n = n;
+
+    // One helper per worker (no more than useful for n-1 other tasks);
+    // each helper and the caller pull indices from the shared counter.
+    const std::size_t helpers =
+        workers_.size() < n - 1 ? workers_.size() : n - 1;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t h = 0; h < helpers; ++h)
+            queue_.push_back([job] { drain(job); });
+    }
+    cv_.notify_all();
+
+    drain(job);  // the caller participates — never waits idle
+
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock, [&job] {
+        return job->completed.load(std::memory_order_acquire) == job->n;
+    });
+}
+
+} // namespace jetty::sim

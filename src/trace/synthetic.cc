@@ -16,6 +16,9 @@ namespace
 constexpr std::uint64_t kRegionAlign = 4096;
 constexpr std::uint64_t KiB_ = 1024;
 
+/** Reuse-ring capacity; a power of two so the cursor wraps by mask. */
+constexpr std::size_t kReuseRing = 32;
+
 /**
  * Deterministic rotation of a region's hot spot, derived from its base so
  * every stream (and every processor's slice) is hottest at a different
@@ -77,7 +80,9 @@ class SyntheticSource : public TraceSource
             cum += st.layout.spec.weight / total_weight;
             st.cumWeight = cum;
         }
-        reuseRing_.assign(32, 0);
+        for (auto &st : streams_)
+            initDerived(st);
+        reuseRing_.assign(kReuseRing, 0);
     }
 
     void
@@ -87,14 +92,22 @@ class SyntheticSource : public TraceSource
         issued_ = 0;
         rng_ = Rng(sourceSeed(profile_.seed, proc_));
         for (auto &st : streams_) {
-            st.pos = 0;
             st.accesses = 0;
             st.runLeft = 0;
             st.runAddr = 0;
             st.runBase = 0;
             st.runBytes = 0;
+            st.posMod = 0;
+            st.pcEpoch = 0;
+            st.pcWithin = 0;
+            st.pcOffset = 0;
+            st.migWithinWord = 0;
+            st.migWithinByte = 0;
+            st.migSlot = 0;
+            st.migSlotN = 0;
+            st.migRotor = proc_ % nprocs_;
         }
-        reuseRing_.assign(32, 0);
+        reuseRing_.assign(kReuseRing, 0);
         reusePos_ = 0;
         reuseFill_ = 0;
     }
@@ -155,13 +168,94 @@ class SyntheticSource : public TraceSource
     {
         StreamLayout layout;
         double cumWeight = 0;
-        std::uint64_t pos = 0;       //!< walk cursor (bytes)
         std::uint64_t accesses = 0;  //!< references this stream produced
         std::uint64_t runLeft = 0;   //!< words left in the current burst
         Addr runAddr = 0;            //!< next address of the burst
         Addr runBase = 0;            //!< burst region base (for wrap)
         std::uint64_t runBytes = 0;  //!< burst region size
+
+        // Derived constants (initDerived: layout + profile + proc only,
+        // so construction and reset leave them untouched). Hoisting them
+        // replaces the per-reference divisions of the fresh* generators.
+        Addr myBase = 0;             //!< this processor's slice / region
+        Addr neighborBase = 0;       //!< next processor's slice
+        std::uint64_t residentWords = 0;  //!< private resident words
+        std::uint64_t residentRot = 0;    //!< hotRotation(myBase, words)
+        std::uint64_t streamBytes = 0;    //!< private streaming span
+        std::uint64_t sharedWords = 0;    //!< read-shared region words
+        std::uint64_t sharedRot = 0;      //!< hotRotation(base, words)
+        std::uint64_t pcLagMod = 0;       //!< (epochLen * word) % buf
+        std::uint64_t spanWords = 0;      //!< neighbor boundary words
+        std::uint64_t migObjects = 1;     //!< migratory object count
+        std::uint64_t migObjWords = 1;    //!< words per object
+        std::uint64_t migMine = 1;        //!< objects per processor share
+
+        // Wrapped incremental cursors — each tracks one of the original
+        // per-reference '%' expressions exactly (the increment is always
+        // strictly smaller than the modulus, so a single conditional
+        // subtract is the full reduction). reset() zeroes them with the
+        // walk so a rewound source replays bit-identically.
+        std::uint64_t posMod = 0;     //!< pos % streamBytes (or % part)
+        std::uint64_t pcEpoch = 0;    //!< accesses / epochLen
+        std::uint64_t pcWithin = 0;   //!< accesses % epochLen
+        std::uint64_t pcOffset = 0;   //!< (accesses * word) % buf
+        std::uint64_t migWithinWord = 0;  //!< step % objWords
+        std::uint64_t migWithinByte = 0;  //!< migWithinWord * word
+        std::uint64_t migSlot = 0;        //!< (step / objWords) % mine
+        std::uint64_t migSlotN = 0;       //!< migSlot * nprocs
+        std::uint64_t migRotor = 0;  //!< (proc + n - sweep % n) % n
     };
+
+    /** Fill the derived constants of @p st (see StreamState). */
+    void
+    initDerived(StreamState &st)
+    {
+        const StreamSpec &spec = st.layout.spec;
+        const unsigned word = profile_.wordBytes;
+        switch (spec.kind) {
+          case StreamKind::Private:
+            st.myBase = st.layout.base + proc_ * st.layout.perProcBytes;
+            if (spec.residentBytes >= word) {
+                st.residentWords = spec.residentBytes / word;
+                st.residentRot =
+                    hotRotation(st.myBase, st.residentWords);
+            }
+            st.streamBytes = spec.bytes > spec.residentBytes
+                                 ? spec.bytes - spec.residentBytes
+                                 : word;
+            break;
+          case StreamKind::ProducerConsumer: {
+            const std::uint64_t buf = st.layout.perProcBytes;
+            st.myBase = st.layout.base + proc_ * buf;
+            st.neighborBase =
+                st.layout.base + ((proc_ + 1) % nprocs_) * buf;
+            st.pcLagMod = (spec.epochLen * word) % buf;
+            break;
+          }
+          case StreamKind::Migratory:
+            st.migObjects = std::max<std::uint64_t>(
+                1, st.layout.totalBytes / spec.objectBytes);
+            st.migObjWords =
+                std::max<std::uint64_t>(1, spec.objectBytes / word);
+            st.migMine = std::max<std::uint64_t>(
+                1, (st.migObjects + nprocs_ - 1) / nprocs_);
+            break;
+          case StreamKind::ReadShared:
+            st.sharedWords = st.layout.totalBytes / word;
+            st.sharedRot = hotRotation(st.layout.base, st.sharedWords);
+            break;
+          case StreamKind::Neighbor: {
+            const std::uint64_t part = st.layout.perProcBytes;
+            st.myBase = st.layout.base + proc_ * part;
+            st.neighborBase =
+                st.layout.base + ((proc_ + 1) % nprocs_) * part;
+            st.spanWords =
+                std::min<std::uint64_t>(spec.boundaryBytes, part) / word;
+            break;
+          }
+        }
+        st.migRotor = proc_ % nprocs_;
+    }
 
     /** Begin an object burst at @p start_word within the given region. */
     void
@@ -205,8 +299,8 @@ class SyntheticSource : public TraceSource
     remember(Addr a)
     {
         reuseRing_[reusePos_] = a;
-        reusePos_ = (reusePos_ + 1) % reuseRing_.size();
-        reuseFill_ = std::min(reuseFill_ + 1, reuseRing_.size());
+        reusePos_ = (reusePos_ + 1) & (kReuseRing - 1);
+        reuseFill_ = std::min(reuseFill_ + 1, kReuseRing);
     }
 
     AccessType
@@ -259,7 +353,6 @@ TraceRecord
 SyntheticSource::freshPrivate(StreamState &st)
 {
     const StreamSpec &spec = st.layout.spec;
-    const Addr my_base = st.layout.base + proc_ * st.layout.perProcBytes;
     const unsigned word = profile_.wordBytes;
     TraceRecord rec;
     rec.type = drawType(spec.writeFraction);
@@ -273,18 +366,23 @@ SyntheticSource::freshPrivate(StreamState &st)
 
     if (rng_.chance(spec.residentFraction) && spec.residentBytes >= word) {
         // Resident set: hot, reused, L2-friendly, object-granular.
-        const std::uint64_t words = spec.residentBytes / word;
-        const std::uint64_t hot = rng_.hotIndex(words, spec.residentHotBias);
-        startBurst(st, my_base, spec.residentBytes,
-                   (hot + hotRotation(my_base, words)) % words);
+        // hot and the precomputed rotation are each < residentWords, so
+        // the sum reduces with one conditional subtract.
+        const std::uint64_t hot =
+            rng_.hotIndex(st.residentWords, spec.residentHotBias);
+        std::uint64_t start = hot + st.residentRot;
+        if (start >= st.residentWords)
+            start -= st.residentWords;
+        startBurst(st, st.myBase, spec.residentBytes, start);
         rec.addr = burstNext(st);
     } else {
-        // Streaming set: sequential walk that defeats the L2.
-        const std::uint64_t stream_bytes =
-            spec.bytes > spec.residentBytes ? spec.bytes - spec.residentBytes
-                                            : word;
-        rec.addr = my_base + spec.residentBytes + (st.pos % stream_bytes);
-        st.pos += word;
+        // Streaming set: sequential walk that defeats the L2. posMod is
+        // the walk cursor reduced mod streamBytes (word <= streamBytes,
+        // so the wrap is one conditional subtract).
+        rec.addr = st.myBase + spec.residentBytes + st.posMod;
+        st.posMod += word;
+        if (st.posMod >= st.streamBytes)
+            st.posMod -= st.streamBytes;
     }
     ++st.accesses;
     return rec;
@@ -296,26 +394,31 @@ SyntheticSource::freshProducerConsumer(StreamState &st)
     const StreamSpec &spec = st.layout.spec;
     const unsigned word = profile_.wordBytes;
     const std::uint64_t buf = st.layout.perProcBytes;
-    const Addr my_buf = st.layout.base + proc_ * buf;
-    const Addr neighbor_buf =
-        st.layout.base + ((proc_ + 1) % nprocs_) * buf;
 
     // Even epochs produce (write own buffer); odd epochs consume (read the
     // neighbour's buffer one epoch behind). All processors advance in
-    // lockstep because the simulator interleaves them 1:1.
-    const std::uint64_t epoch = st.accesses / spec.epochLen;
-    const std::uint64_t offset = (st.accesses * word) % buf;
-    ++st.accesses;
-
+    // lockstep because the simulator interleaves them 1:1. pcEpoch,
+    // pcWithin and pcOffset are the division-free forms of the original
+    // accesses / epochLen and (accesses * word) % buf.
     TraceRecord rec;
-    if (epoch % 2 == 0) {
+    if ((st.pcEpoch & 1) == 0) {
         rec.type = AccessType::Write;
-        rec.addr = my_buf + offset;
+        rec.addr = st.myBase + st.pcOffset;
     } else {
         rec.type = AccessType::Read;
-        const std::uint64_t lag = spec.epochLen * word;
-        rec.addr = neighbor_buf + ((offset + buf - lag % buf) % buf);
+        std::uint64_t off = st.pcOffset + buf - st.pcLagMod;
+        if (off >= buf)
+            off -= buf;
+        rec.addr = st.neighborBase + off;
     }
+    ++st.accesses;
+    if (++st.pcWithin == spec.epochLen) {
+        st.pcWithin = 0;
+        ++st.pcEpoch;
+    }
+    st.pcOffset += word;
+    if (st.pcOffset >= buf)
+        st.pcOffset -= buf;
     return rec;
 }
 
@@ -324,28 +427,44 @@ SyntheticSource::freshMigratory(StreamState &st)
 {
     const StreamSpec &spec = st.layout.spec;
     const unsigned word = profile_.wordBytes;
-    const std::uint64_t objects =
-        std::max<std::uint64_t>(1, st.layout.totalBytes / spec.objectBytes);
 
     // Ownership rotates once per full sweep over a processor's share of
     // the objects, so every object is handed to the next processor right
     // after its read-modify-write visit -- classic migratory sharing.
-    const std::uint64_t step = st.accesses / 2;  // two refs per word visit
-    const std::uint64_t obj_words =
-        std::max<std::uint64_t>(1, spec.objectBytes / word);
-    const std::uint64_t mine =
-        std::max<std::uint64_t>(1, (objects + nprocs_ - 1) / nprocs_);
-    const std::uint64_t sweep = step / (mine * obj_words);
-    const std::uint64_t slot = (step / obj_words) % mine;
-    const std::uint64_t obj =
-        (slot * nprocs_ + ((proc_ + nprocs_ - sweep % nprocs_) % nprocs_)) %
-        objects;
-    const std::uint64_t within = (step % obj_words) * word;
+    //
+    // The original per-reference form divided a flat step counter
+    // (accesses / 2) into sweep / slot / within digits; the cascading
+    // counters below carry exactly those digits: migWithinWord wraps at
+    // objWords and advances migSlot, migSlot wraps at migMine and
+    // advances the sweep rotor. migSlotN is migSlot * nprocs kept
+    // incrementally, and migRotor is (proc + n - sweep % n) % n, which a
+    // sweep advance decrements cyclically.
+    std::uint64_t obj = st.migSlotN + st.migRotor;
+    while (obj >= st.migObjects)
+        obj -= st.migObjects;  // <= ~nprocs/objects iterations
 
     TraceRecord rec;
-    rec.type = (st.accesses % 2 == 0) ? AccessType::Read : AccessType::Write;
-    rec.addr = st.layout.base + obj * spec.objectBytes + within;
+    rec.type = (st.accesses & 1) == 0 ? AccessType::Read
+                                      : AccessType::Write;
+    rec.addr = st.layout.base + obj * spec.objectBytes + st.migWithinByte;
     ++st.accesses;
+    if ((st.accesses & 1) == 0) {
+        // A new step (word visit) begins on the next reference.
+        ++st.migWithinWord;
+        st.migWithinByte += word;
+        if (st.migWithinWord == st.migObjWords) {
+            st.migWithinWord = 0;
+            st.migWithinByte = 0;
+            ++st.migSlot;
+            st.migSlotN += nprocs_;
+            if (st.migSlot == st.migMine) {
+                st.migSlot = 0;
+                st.migSlotN = 0;
+                st.migRotor =
+                    st.migRotor == 0 ? nprocs_ - 1 : st.migRotor - 1;
+            }
+        }
+    }
     return rec;
 }
 
@@ -353,15 +472,16 @@ TraceRecord
 SyntheticSource::freshReadShared(StreamState &st)
 {
     const StreamSpec &spec = st.layout.spec;
-    const unsigned word = profile_.wordBytes;
-    const std::uint64_t words = st.layout.totalBytes / word;
 
     TraceRecord rec;
     rec.type = AccessType::Read;
     if (st.runLeft == 0) {
-        const std::uint64_t hot = rng_.hotIndex(words, spec.hotBias);
-        startBurst(st, st.layout.base, st.layout.totalBytes,
-                   (hot + hotRotation(st.layout.base, words)) % words);
+        const std::uint64_t hot =
+            rng_.hotIndex(st.sharedWords, spec.hotBias);
+        std::uint64_t start = hot + st.sharedRot;
+        if (start >= st.sharedWords)
+            start -= st.sharedWords;
+        startBurst(st, st.layout.base, st.layout.totalBytes, start);
     }
     rec.addr = burstNext(st);
     ++st.accesses;
@@ -374,7 +494,6 @@ SyntheticSource::freshNeighbor(StreamState &st)
     const StreamSpec &spec = st.layout.spec;
     const unsigned word = profile_.wordBytes;
     const std::uint64_t part = st.layout.perProcBytes;
-    const Addr my_part = st.layout.base + proc_ * part;
 
     TraceRecord rec;
     if (rng_.chance(spec.remoteFraction)) {
@@ -383,18 +502,22 @@ SyntheticSource::freshNeighbor(StreamState &st)
         // simulator interleaves them 1:1), so our own cursor approximates
         // the neighbour's: the window [pos - boundary, pos) holds values
         // the neighbour produced recently, as in a bulk-synchronous mesh
-        // relaxation.
-        const Addr neighbor = st.layout.base + ((proc_ + 1) % nprocs_) * part;
-        const std::uint64_t span =
-            std::min<std::uint64_t>(spec.boundaryBytes, part);
-        const std::uint64_t lag = rng_.below(span / word) * word + word;
-        const std::uint64_t pos = st.pos % part;
+        // relaxation. lag <= spanWords * word <= part, so both
+        // reductions are single conditional subtracts.
+        std::uint64_t lag = rng_.below(st.spanWords) * word + word;
+        if (lag >= part)
+            lag -= part;
+        std::uint64_t off = st.posMod + part - lag;
+        if (off >= part)
+            off -= part;
         rec.type = AccessType::Read;
-        rec.addr = neighbor + (pos + part - (lag % part)) % part;
+        rec.addr = st.neighborBase + off;
     } else {
         rec.type = drawType(spec.writeFraction);
-        rec.addr = my_part + (st.pos % part);
-        st.pos += word;
+        rec.addr = st.myBase + st.posMod;
+        st.posMod += word;
+        if (st.posMod >= part)
+            st.posMod -= part;
     }
     ++st.accesses;
     return rec;

@@ -9,6 +9,7 @@
 #ifndef JETTY_UTIL_STATS_HH
 #define JETTY_UTIL_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -50,6 +51,23 @@ inline double
 percent(std::uint64_t num, std::uint64_t den)
 {
     return 100.0 * ratio(num, den);
+}
+
+/**
+ * Median of @p samples (sorted in place); 0 on an empty vector. Even
+ * counts take the lower middle element — a real measurement, not an
+ * average of two — so repeated runs over the same samples agree exactly.
+ * The benches report median-of-N wall-clock times through this: the
+ * median rides out the one-sided contention spikes a shared CI box
+ * injects, where a mean would absorb them.
+ */
+inline double
+medianInPlace(std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[(samples.size() - 1) / 2];
 }
 
 /**

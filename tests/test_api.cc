@@ -390,6 +390,11 @@ TEST(Report, GoldenFixturePinsTheSchema)
     stats.busSnoopTagProbes = {4, 3};
 
     api::Report report("golden");
+    // The envelope's SIMD provenance is resolved from the running host;
+    // pin it so the golden bytes stay machine- and tier-independent
+    // (set() replaces in place, keeping the envelope field order).
+    report.root().set("simd_isa", "scalar");
+    report.root().set("simd_width", 1);
     report.echoSpec(spec);
     report.root().set("arch", api::Report::archNode(stats));
     report.root().set("per_bus", api::Report::perBusNode(stats));
