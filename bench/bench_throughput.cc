@@ -137,11 +137,13 @@ requireIdentical(const sim::SimStats &a, const sim::SimStats &b,
  *  Scalar and batched runs alternate so slow background phases on a
  *  shared box hit both sides alike. */
 Measurement
-measure(const trace::AppProfile &profile, unsigned repeats)
+measure(const trace::AppProfile &profile, unsigned repeats,
+        unsigned buses)
 {
     experiments::SystemVariant variant;
     sim::SmpConfig cfg = variant.smpConfig();
     cfg.filterSpecs = kFilters;
+    cfg.snoopBuses = buses;
 
     const trace::Workload workload(profile, cfg.nprocs, 1.0);
 
@@ -188,6 +190,7 @@ main(int argc, char **argv)
     bool smoke = false;
     std::string out;
     unsigned repeats = 3;
+    unsigned buses = 1;
     double scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -196,17 +199,24 @@ main(int argc, char **argv)
             out = argv[++i];
         } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
             repeats = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--buses") == 0 && i + 1 < argc) {
+            buses = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             scale = std::atof(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: bench_throughput [--smoke] [--out FILE] "
-                         "[--repeat N] [--scale F]\n");
+                         "[--repeat N] [--buses N] [--scale F]\n");
             return 1;
         }
     }
     if (repeats < 1)
         repeats = 1;
+    if (buses < 1 || (buses & (buses - 1)) != 0) {
+        std::fprintf(stderr,
+                     "bench_throughput: --buses must be a power of two\n");
+        return 1;
+    }
     if (scale <= 0.0 || scale > 1.0) {
         std::fprintf(stderr, "bench_throughput: --scale must be in (0, 1]\n");
         return 1;
@@ -230,12 +240,12 @@ main(int argc, char **argv)
 
     rows.push_back(
         {"delivery-bound",
-         measure(deliveryBoundProfile(refsPerProc), repeats)});
+         measure(deliveryBoundProfile(refsPerProc), repeats, buses)});
     for (const char *app : {"fm", "lu"}) {
         trace::AppProfile p = trace::appByName(app);
         p.accessesPerProc = static_cast<std::uint64_t>(
             static_cast<double>(p.accessesPerProc) * appScale);
-        rows.push_back({app, measure(p, repeats)});
+        rows.push_back({app, measure(p, repeats, buses)});
     }
 
     TextTable table;
@@ -261,6 +271,7 @@ main(int argc, char **argv)
         spec.filters = kFilters;
         spec.scale = scale;
         spec.benchRepeat = repeats;
+        spec.machine.buses = buses;
 
         api::Report report("throughput");
         report.echoSpec(spec);
@@ -268,6 +279,7 @@ main(int argc, char **argv)
         root.set("bench", "throughput");
         root.set("smoke", smoke);
         root.set("procs", 4);
+        root.set("buses", buses);
         root.set("filters",
                  static_cast<std::uint64_t>(kFilters.size()));
         root.set("repeats", repeats);

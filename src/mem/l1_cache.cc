@@ -5,6 +5,7 @@
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace jetty::mem
 {
@@ -18,12 +19,18 @@ L1Cache::L1Cache(const L1Config &cfg) : cfg_(cfg)
     const std::uint64_t sets = cfg.sets();
     if (sets == 0)
         fatal("L1Cache: size too small for block/assoc");
+    if (cfg.assoc >= simd::kL1Writable)
+        fatal("L1Cache: assoc too large for the classify verdict encoding");
 
     lineMask_ = cfg.blockBytes - 1;
     offsetBits_ = floorLog2(cfg.blockBytes);
     indexBits_ = floorLog2(sets);
+    assocShift_ = floorLog2(cfg.assoc);
 
-    lines_.assign(static_cast<std::size_t>(sets) * cfg.assoc, Line{});
+    const std::size_t frames = static_cast<std::size_t>(sets) * cfg.assoc;
+    tagw_.assign(frames, 0);
+    lastUse_.assign(frames, 0);
+    dirty_.assign(frames, 0);
 }
 
 std::uint64_t
@@ -47,11 +54,11 @@ L1Cache::lineAddrOf(Addr tag, std::uint64_t set) const
 int
 L1Cache::findWay(Addr a) const
 {
-    const std::uint64_t set = setIndex(a);
-    const Addr tag = tagOf(a);
-    const Line *const ways = &lines_[set * cfg_.assoc];
+    const std::size_t base = static_cast<std::size_t>(setIndex(a))
+                             << assocShift_;
+    const std::uint64_t key = (tagOf(a) << 2) | 1;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
+        if ((tagw_[base + w] & ~std::uint64_t{2}) == key)
             return static_cast<int>(w);
     }
     return -1;
@@ -64,19 +71,48 @@ L1Cache::probe(Addr addr) const
     const int w = findWay(addr);
     if (w < 0)
         return res;
-    const Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
+    const std::size_t frame =
+        (static_cast<std::size_t>(setIndex(addr)) << assocShift_) + w;
     res.hit = true;
-    res.writable = l.writable;
-    res.dirty = l.dirty;
+    res.writable = (tagw_[frame] & 2) != 0;
+    res.dirty = dirty_[frame] != 0;
     return res;
+}
+
+void
+L1Cache::classifyBatch(const Addr *addrs, const std::uint8_t *writes,
+                       std::size_t n, std::uint8_t *outcome,
+                       std::uint8_t *waySel) const
+{
+    simd::l1Classify(tagw_.data(), addrs, n, offsetBits_,
+                     maskBits(indexBits_), offsetBits_ + indexBits_,
+                     assocShift_, waySel);
+    // Branchless verdict mapping (the mispredict cost of a 3-way branch
+    // on interleaved hit/miss streams is what Stage 1 exists to avoid):
+    // Miss when no way matched, Blocked on a write without permission,
+    // Hit otherwise.
+    constexpr auto kHit = static_cast<std::uint8_t>(L1FastOutcome::Hit);
+    constexpr auto kMiss = static_cast<std::uint8_t>(L1FastOutcome::Miss);
+    constexpr auto kBlocked =
+        static_cast<std::uint8_t>(L1FastOutcome::Blocked);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint8_t sel = waySel[k];
+        const bool miss = sel == simd::kL1NoWay;
+        const bool blocked =
+            !miss && writes[k] && !(sel & simd::kL1Writable);
+        outcome[k] = static_cast<std::uint8_t>(
+            miss ? kMiss : (blocked ? kBlocked : kHit));
+    }
 }
 
 void
 L1Cache::touch(Addr addr)
 {
     const int w = findWay(addr);
-    if (w >= 0)
-        lines_[setIndex(addr) * cfg_.assoc + w].lastUse = ++useClock_;
+    if (w >= 0) {
+        lastUse_[(static_cast<std::size_t>(setIndex(addr)) << assocShift_) +
+                 w] = ++useClock_;
+    }
 }
 
 void
@@ -85,10 +121,11 @@ L1Cache::markDirty(Addr addr)
     const int w = findWay(addr);
     if (w < 0)
         panic("L1Cache::markDirty on absent line");
-    Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
-    if (!l.writable)
+    const std::size_t frame =
+        (static_cast<std::size_t>(setIndex(addr)) << assocShift_) + w;
+    if (!(tagw_[frame] & 2))
         panic("L1Cache::markDirty on non-writable line");
-    l.dirty = true;
+    dirty_[frame] = 1;
 }
 
 void
@@ -97,7 +134,11 @@ L1Cache::setWritable(Addr addr, bool writable)
     const int w = findWay(addr);
     if (w < 0)
         panic("L1Cache::setWritable on absent line");
-    lines_[setIndex(addr) * cfg_.assoc + w].writable = writable;
+    const std::size_t frame =
+        (static_cast<std::size_t>(setIndex(addr)) << assocShift_) + w;
+    tagw_[frame] = (tagw_[frame] & ~std::uint64_t{2}) |
+                   (writable ? std::uint64_t{2} : 0);
+    ++gen_;
 }
 
 void
@@ -110,10 +151,10 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     if (findWay(addr) >= 0)
         panic("L1Cache::fill of an already-present line");
 
-    Line *const ways = &lines_[set * cfg_.assoc];
+    const std::size_t base = static_cast<std::size_t>(set) << assocShift_;
     int target = -1;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (!ways[w].valid) {
+        if (!(tagw_[base + w] & 1)) {
             target = static_cast<int>(w);
             break;
         }
@@ -121,26 +162,26 @@ L1Cache::fill(Addr addr, bool writable, L1Victim &victim)
     if (target < 0) {
         std::uint64_t oldest = ~std::uint64_t{0};
         for (unsigned w = 0; w < cfg_.assoc; ++w) {
-            if (ways[w].lastUse < oldest) {
-                oldest = ways[w].lastUse;
+            if (lastUse_[base + w] < oldest) {
+                oldest = lastUse_[base + w];
                 target = static_cast<int>(w);
             }
         }
     }
 
-    Line &l = ways[target];
-    if (l.valid) {
+    const std::size_t frame = base + target;
+    if (tagw_[frame] & 1) {
         victim.valid = true;
-        victim.dirty = l.dirty;
-        victim.lineAddr = lineAddrOf(l.tag, set);
+        victim.dirty = dirty_[frame] != 0;
+        victim.lineAddr = lineAddrOf(tagw_[frame] >> 2, set);
         --validLines_;
     }
-    l.valid = true;
-    l.tag = tag;
-    l.writable = writable;
-    l.dirty = false;
-    l.lastUse = ++useClock_;
+    tagw_[frame] = (static_cast<std::uint64_t>(tag) << 2) |
+                   (writable ? std::uint64_t{2} : 0) | 1;
+    dirty_[frame] = 0;
+    lastUse_[frame] = ++useClock_;
     ++validLines_;
+    ++gen_;
 }
 
 std::vector<L1LineInfo>
@@ -150,14 +191,16 @@ L1Cache::validLineInfo() const
     lines.reserve(validLines_);
     const std::uint64_t sets = cfg_.sets();
     for (std::uint64_t set = 0; set < sets; ++set) {
+        const std::size_t base = static_cast<std::size_t>(set)
+                                 << assocShift_;
         for (unsigned w = 0; w < cfg_.assoc; ++w) {
-            const Line &l = lines_[set * cfg_.assoc + w];
-            if (!l.valid)
+            const std::uint64_t word = tagw_[base + w];
+            if (!(word & 1))
                 continue;
             L1LineInfo info;
-            info.lineAddr = lineAddrOf(l.tag, set);
-            info.writable = l.writable;
-            info.dirty = l.dirty;
+            info.lineAddr = lineAddrOf(word >> 2, set);
+            info.writable = (word & 2) != 0;
+            info.dirty = dirty_[base + w] != 0;
             lines.push_back(info);
         }
     }
@@ -174,12 +217,15 @@ L1Cache::invalidate(Addr addr)
     const int w = findWay(addr);
     if (w < 0)
         return false;
-    Line &l = lines_[setIndex(addr) * cfg_.assoc + w];
-    const bool was_dirty = l.dirty;
-    l.valid = false;
-    l.dirty = false;
-    l.writable = false;
+    const std::size_t frame =
+        (static_cast<std::size_t>(setIndex(addr)) << assocShift_) + w;
+    const bool was_dirty = dirty_[frame] != 0;
+    // Clear valid and writable; the stale tag bits can never match again
+    // because a lookup key always carries valid=1.
+    tagw_[frame] &= ~std::uint64_t{3};
+    dirty_[frame] = 0;
     --validLines_;
+    ++gen_;
     return was_dirty;
 }
 

@@ -5,6 +5,13 @@
  * no coherence state of its own; it mirrors presence plus a "writable"
  * permission bit derived from the L2's MOESI state, and the inclusion
  * property (L2 superset of L1) is enforced by the owning processor node.
+ *
+ * Storage is packed for the batch pre-classifier (DESIGN.md, "Batched
+ * miss pipeline"): each (set, way) frame is one 64-bit word
+ * (tag << 2) | (writable << 1) | valid, so a lookup is a single masked
+ * compare and classifyBatch() can scan a whole reference batch with the
+ * simd::l1Classify gather kernel. LRU clocks and dirty flags sit in
+ * parallel cold arrays — classification never touches them.
  */
 
 #ifndef JETTY_MEM_L1_CACHE_HH
@@ -14,7 +21,9 @@
 #include <vector>
 
 #include "mem/cache_config.hh"
+#include "util/arena.hh"
 #include "util/bits.hh"
+#include "util/simd.hh"
 #include "util/types.hh"
 
 namespace jetty::mem
@@ -88,26 +97,78 @@ class L1Cache
      * route directly instead of re-probing: Blocked (a write hit
      * lacking permission — the full processorAccess route applies) vs
      * Miss (the line is absent). Hit semantics are accessFast()'s.
+     *
+     * This scalar loop is the oracle the vectorized classifyBatch() +
+     * retireHitAt() pipeline is asserted bit-identical against
+     * (test_caches.cc).
      */
     L1FastOutcome
     accessClassify(Addr addr, bool write)
     {
         const std::uint64_t set = bitField(addr, offsetBits_, indexBits_);
-        const Addr tag = addr >> (offsetBits_ + indexBits_);
-        Line *const ways = &lines_[set * cfg_.assoc];
+        const std::uint64_t key =
+            ((addr >> (offsetBits_ + indexBits_)) << 2) | 1;
+        const std::size_t base = static_cast<std::size_t>(set)
+                                 << assocShift_;
         for (unsigned w = 0; w < cfg_.assoc; ++w) {
-            Line &l = ways[w];
-            if (!l.valid || l.tag != tag)
+            const std::uint64_t word = tagw_[base + w];
+            if ((word & ~std::uint64_t{2}) != key)
                 continue;
-            if (write && !l.writable)
+            if (write && !(word & 2))
                 return L1FastOutcome::Blocked;
-            l.lastUse = ++useClock_;
+            lastUse_[base + w] = ++useClock_;
             if (write)
-                l.dirty = true;
+                dirty_[base + w] = 1;
             return L1FastOutcome::Hit;
         }
         return L1FastOutcome::Miss;
     }
+
+    /**
+     * Stage 1 of the batched hot loop: classify @p n references against
+     * the *current* tag/permission state without touching any of it.
+     * outcome[k] is the L1FastOutcome accessClassify() would return for
+     * (addrs[k], writes[k]); waySel[k] is the raw simd::l1Classify
+     * verdict (way | kL1Writable, or kL1NoWay) that retireHitAt() uses
+     * to retire a classified hit without re-probing.
+     *
+     * Validity contract: the verdicts describe the cache as of this
+     * call's generation() — they stay exact as long as generation() is
+     * unchanged, because retiring hits (LRU touch, dirty marking) never
+     * changes tag/valid/writable state. fill(), invalidate() and
+     * setWritable() each bump the generation; a caller holding stale
+     * verdicts must reclassify.
+     */
+    void classifyBatch(const Addr *addrs, const std::uint8_t *writes,
+                       std::size_t n, std::uint8_t *outcome,
+                       std::uint8_t *waySel) const;
+
+    /**
+     * Retire one classified hit: exactly the state changes of
+     * accessClassify()'s Hit arm (LRU clock advance, dirty marking on a
+     * write), applied through the way recorded by classifyBatch()
+     * instead of a fresh associative scan. Only valid while the
+     * classifying generation still holds.
+     */
+    void
+    retireHitAt(Addr addr, std::uint8_t waySel, bool write)
+    {
+        const std::size_t frame =
+            (static_cast<std::size_t>(
+                 bitField(addr, offsetBits_, indexBits_))
+             << assocShift_) +
+            (waySel & ~simd::kL1Writable);
+        lastUse_[frame] = ++useClock_;
+        if (write)
+            dirty_[frame] = 1;
+    }
+
+    /**
+     * Tag/permission-state generation: bumped by every mutation that can
+     * change a classifyBatch() verdict (fill, invalidate, setWritable).
+     * Hit retirement never bumps it.
+     */
+    std::uint64_t generation() const { return gen_; }
 
     /** Update LRU for a hit on @p addr's line. */
     void touch(Addr addr);
@@ -145,29 +206,25 @@ class L1Cache
     const L1Config &config() const { return cfg_; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool writable = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint64_t setIndex(Addr a) const;
     Addr tagOf(Addr a) const;
     Addr lineAddrOf(Addr tag, std::uint64_t set) const;
     int findWay(Addr a) const;
 
     L1Config cfg_;
-    /** Flat [set * assoc + way] layout: a set's ways are one contiguous
-     *  run, so the per-reference fast-path scan stays in one line. */
-    std::vector<Line> lines_;
+    /** Flat [set << assocShift | way] packed words,
+     *  (tag << 2) | (writable << 1) | valid — the only array a
+     *  classification reads; one cache line covers 8 ways. */
+    util::AlignedVec<std::uint64_t> tagw_;
+    util::AlignedVec<std::uint64_t> lastUse_;  //!< [frame] LRU clocks
+    std::vector<std::uint8_t> dirty_;          //!< [frame] dirty flags
     std::uint64_t lineMask_;
     unsigned offsetBits_;
     unsigned indexBits_;
+    unsigned assocShift_;  //!< log2(assoc), precomputed
     std::uint64_t useClock_ = 0;
     std::uint64_t validLines_ = 0;
+    std::uint64_t gen_ = 0;  //!< classification-visible state version
 };
 
 } // namespace jetty::mem

@@ -80,14 +80,23 @@ class WritebackBuffer
         return (signature_ & bit) != 0;
     }
 
+    /** Signature-hash geometry, shared with the batched miss pipeline:
+     *  SmpSystem::prepareMissRun computes whole runs of signature bits
+     *  through simd::oneHotHash with exactly these constants, so they
+     *  are named once here instead of living as magic numbers in two
+     *  hot paths. */
+    static constexpr unsigned kSigPreShift = 5;  //!< unit-granular bits
+    static constexpr std::uint64_t kSigMul = 0x9E3779B97F4A7C15ull;
+    static constexpr unsigned kSigPostShift = 58;  //!< keep top 6 bits
+
     /** Signature bit of @p unitAddr: a multiplicative hash over the
      *  unit-granular address bits, mapped onto a 64-bit mask. Matches
-     *  simd::oneHotHash(preShift=5, mul=golden-ratio, postShift=58). */
+     *  simd::oneHotHash(kSigPreShift, kSigMul, kSigPostShift). */
     static std::uint64_t
     signatureBitOf(Addr unitAddr)
     {
         return std::uint64_t{1}
-               << (((unitAddr >> 5) * 0x9E3779B97F4A7C15ull) >> 58);
+               << (((unitAddr >> kSigPreShift) * kSigMul) >> kSigPostShift);
     }
 
     /** The current Bloom signature (tests and verification). */

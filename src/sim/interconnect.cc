@@ -6,7 +6,8 @@ namespace jetty::sim
 {
 
 Interconnect::Interconnect(unsigned buses, unsigned blockOffsetBits)
-    : buses_(buses), blockOffsetBits_(blockOffsetBits)
+    : buses_(buses), blockOffsetBits_(blockOffsetBits),
+      busesPow2_(buses >= 1 && (buses & (buses - 1)) == 0)
 {
     if (buses_ < 1)
         fatal("Interconnect: need at least one snoop bus");

@@ -66,17 +66,23 @@ class Interconnect
     /** Number of logical buses. */
     unsigned buses() const { return buses_; }
 
-    /** Home bus of the unit at @p unitAddr. */
+    /** Home bus of the unit at @p unitAddr. Power-of-two bus counts
+     *  (all the sweep points, including the single-bus default) route
+     *  with a mask; the modulo stays as the general fallback and both
+     *  agree bit-for-bit whenever the mask applies. */
     unsigned
     busOf(Addr unitAddr) const
     {
-        return static_cast<unsigned>((unitAddr >> blockOffsetBits_) %
-                                     buses_);
+        const Addr block = unitAddr >> blockOffsetBits_;
+        if (busesPow2_)
+            return static_cast<unsigned>(block & (buses_ - 1));
+        return static_cast<unsigned>(block % buses_);
     }
 
   private:
     unsigned buses_;
     unsigned blockOffsetBits_;
+    bool busesPow2_;
 };
 
 } // namespace jetty::sim

@@ -4,6 +4,7 @@
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace jetty::sim
 {
@@ -11,6 +12,24 @@ namespace jetty::sim
 using coherence::BusOp;
 using coherence::BusResponse;
 using coherence::State;
+
+namespace
+{
+
+/** Rows classified per Stage-1 window extension. Large enough to keep
+ *  the SIMD classify kernel's lanes full, small enough that a miss
+ *  invalidating the window (the L1 generation moved) throws away
+ *  little work. Any value is bit-identical. */
+constexpr std::size_t kClassifyWindowMin = 8;
+constexpr std::size_t kClassifyWindowMax = 128;
+
+/** Consecutive fully-Hit drain sweeps required before Stage 3 hands
+ *  control back to the run splitter. One all-Hit sweep right after a
+ *  miss is often a lull, not a run — re-entering Stage 1 for it pays
+ *  the window bookkeeping only to fall straight back into the drain. */
+constexpr std::size_t kDrainExitStreak = 1;
+
+} // namespace
 
 filter::AddressMap
 SmpConfig::addressMap() const
@@ -140,25 +159,55 @@ SmpSystem::run()
         return;
     }
 
-    // The batched hot loop. The interleaving is exactly step()'s — one
-    // reference per live processor per sweep — but references needing no
-    // L2 or bus interaction (the vast majority) are retired inline via
-    // the L1's single-lookup fast path instead of the general
-    // processorAccess() route, and the filter banks run deferred: every
-    // snoop observation and L2 fill/evict notification is queued per
-    // home snoop bus and replayed through the per-filter batched probe
-    // path at chunk boundaries (FilterBank::flushDeferred). Both routes
-    // make identical coherence state changes, so run(), step()-driven
-    // loops, and every batchRefs value produce bit-identical statistics
-    // (and with snoopBuses == 1 the deferred replay is the exact
+    // The batched hot loop: a three-stage pipeline over chunks of the
+    // round-robin schedule (DESIGN.md, "Batched miss pipeline"). The
+    // interleaving is exactly step()'s — one reference per live
+    // processor per sweep — but the chunk is walked as runs instead of
+    // references:
+    //
+    //  Stage 1 classifies windows of upcoming references per processor
+    //  through the vectorized L1 pre-classifier (classifyBatch — pure
+    //  reads, verdicts pinned to the L1's generation counter);
+    //  Stage 2 retires the maximal all-Hit schedule prefix in bulk
+    //  (hits touch only their own L1's LRU/dirty state, never another
+    //  processor and never a verdict, so per-lane retirement order is
+    //  bit-identical to the interleaved order);
+    //  Stage 3 drains the non-Hit run one schedule slot at a time —
+    //  misses interact across processors (fill states, evictions, WB
+    //  FIFOs), so their coherence work cannot be reordered — but with
+    //  the per-run setup batched: signature bits via simd::oneHotHash,
+    //  home-bus routing, and L2 set prefetches are prepared for whole
+    //  runs, and the per-bus occupancy counters accumulate in
+    //  chunk-local deltas folded bus-major at the chunk boundary.
+    //
+    // The filter banks run deferred throughout: every snoop observation
+    // and L2 fill/evict notification is queued per home snoop bus and
+    // replayed through the per-filter batched probe path at chunk
+    // boundaries (FilterBank::flushDeferred). Both routes make
+    // identical coherence state changes, so run(), step()-driven loops,
+    // and every batchRefs value produce bit-identical statistics (and
+    // with snoopBuses == 1 the deferred replay is the exact
     // immediate-observation order, making the filter numbers
     // bit-identical too).
     const unsigned nprocs = static_cast<unsigned>(nodes_.size());
     const Addr unit_mask = ~(static_cast<Addr>(cfg_.l2.unitBytes()) - 1);
 
+    // Walk mode. With a direct-mapped L1 a probe is one scalar load, and
+    // the fused drain — classify-and-retire in a single pass per row —
+    // out-runs the three-stage pipeline's separate classify/scan/retire
+    // array passes on every workload we measured, hit-heavy ones
+    // included. An associative L1 flips the trade: there the SIMD
+    // pre-classifier replaces a whole multi-way tag scan per reference,
+    // and the run splitter pays for itself. Both walks retire the same
+    // schedule in the same order, so the choice is invisible in the
+    // statistics (asserted by test_differential across geometries).
+    const bool fused_walk = cfg_.l1.assoc == 1;
+
     for (auto &node : nodes_)
         node->bank->beginDeferred();
     deferActive_ = true;
+    chunkBus_.assign(interconnect_.buses(), BusStats{});
+    chunkBusProbes_.assign(interconnect_.buses(), 0);
 
     // Live processors in ascending id order (the round-robin order),
     // with their nodes resolved once per chunk so the per-reference
@@ -167,6 +216,8 @@ SmpSystem::run()
     std::vector<Node *> liveNodes;
     live.reserve(nprocs);
     liveNodes.reserve(nprocs);
+    if (lanes_.size() < nprocs)
+        lanes_.resize(nprocs);
 
     for (;;) {
         // Top up every live batch and size the next chunk of sweeps: all
@@ -190,56 +241,255 @@ SmpSystem::run()
         }
         if (live.empty())
             break;
+        const std::size_t nlive = live.size();
 
-        for (std::size_t r = 0; r < rounds; ++r) {
-            for (std::size_t li = 0; li < live.size(); ++li) {
-                const ProcId p = live[li];
-                Node &node = *liveNodes[li];
-                const trace::TraceRecord &rec =
-                    node.batch[node.batchPos++];
-                const bool write = rec.type == AccessType::Write;
-                const auto fast =
-                    node.l1->accessClassify(rec.addr & unit_mask, write);
-                if (fast == mem::L1FastOutcome::Hit) {
-                    ProcStats &ps = stats_.procs[p];
-                    ++ps.accesses;
-                    if (write)
-                        ++ps.writes;
-                    else
-                        ++ps.reads;
-                    ++ps.l1Hits;
-                    continue;
+        // Pin each lane to its slice of the trace batch, then (for the
+        // associative walk only) decode the chunk once: unit-aligned
+        // addresses and write flags per lane row, in the layout the
+        // SIMD kernels consume. The fused walk skips the decode pass —
+        // its drain reads the records directly.
+        for (std::size_t li = 0; li < nlive; ++li) {
+            Lane &ls = lanes_[li];
+            Node &node = *liveNodes[li];
+            ls.rec = node.batch.data() + node.batchPos;
+            ls.l1 = node.l1.get();
+            ls.clsTo = 0;
+            ls.win = kClassifyWindowMin;
+            ls.gen = node.l1->generation();
+            node.batchPos += rounds;
+            if (fused_walk)
+                continue;
+            if (ls.unit.size() < rounds) {
+                ls.unit.resize(rounds);
+                ls.write.resize(rounds);
+                ls.outcome.resize(rounds);
+                ls.waySel.resize(rounds);
+                ls.sigBit.resize(rounds);
+            }
+            for (std::size_t row = 0; row < rounds; ++row) {
+                ls.unit[row] = ls.rec[row].addr & unit_mask;
+                ls.write[row] = static_cast<std::uint8_t>(
+                    ls.rec[row].type == AccessType::Write);
+            }
+        }
+
+        std::size_t r = 0;
+        while (r < rounds) {
+            // ---- Stages 1+2 (associative walk only): split off the
+            // maximal prefix of rounds in which every lane's verdict is
+            // Hit, and retire it in bulk. No verdict goes stale inside
+            // the prefix: Stage 1 only reads, and hit retirement never
+            // moves a generation.
+            if (!fused_walk) {
+                std::size_t h = rounds - r;
+                for (std::size_t li = 0; li < nlive && h > 0; ++li)
+                    h = firstNonHit(lanes_[li], r, r + h, rounds) - r;
+                if (h > 0) {
+                    for (std::size_t li = 0; li < nlive; ++li) {
+                        Lane &ls = lanes_[li];
+                        std::uint64_t wr = 0;
+                        for (std::size_t row = r; row < r + h; ++row) {
+                            ls.l1->retireHitAt(ls.unit[row],
+                                               ls.waySel[row],
+                                               ls.write[row] != 0);
+                            wr += ls.write[row];
+                        }
+                        ProcStats &ps = stats_.procs[live[li]];
+                        ps.accesses += h;
+                        ps.writes += wr;
+                        ps.reads += h - wr;
+                        ps.l1Hits += h;
+                    }
+                    r += h;
+                    if (r >= rounds)
+                        break;
                 }
-                if (fast == mem::L1FastOutcome::Miss) {
-                    // The classify scan already established the miss:
-                    // enter the miss tail directly (same counters, no
-                    // second L1 probe).
-                    ProcStats &ps = stats_.procs[p];
-                    ++ps.accesses;
-                    if (write)
-                        ++ps.writes;
-                    else
-                        ++ps.reads;
-                    ++ps.l1Misses;
-                    missTail(p, rec.type, rec.addr,
-                             rec.addr & unit_mask);
-                    continue;
+            }
+
+            // ---- Stage 3: drain the non-Hit run in exact schedule
+            // order until a fully-Hit sweep hands control back to the
+            // run splitter (the fused walk never hands back — it drains
+            // whole chunks). Cached verdicts are honoured while their
+            // generation holds; stale slots fall back to the scalar
+            // classify (which retires hits itself, exactly like the
+            // sequential path).
+            std::size_t hitStreak = 0;
+            while (r < rounds &&
+                   (fused_walk || hitStreak < kDrainExitStreak)) {
+                bool all_hit = true;
+                for (std::size_t li = 0; li < nlive; ++li) {
+                    Lane &ls = lanes_[li];
+                    const ProcId p = live[li];
+                    Addr unit;
+                    bool write;
+                    if (fused_walk) {
+                        const trace::TraceRecord &rc = ls.rec[r];
+                        unit = rc.addr & unit_mask;
+                        write = rc.type == AccessType::Write;
+                    } else {
+                        unit = ls.unit[r];
+                        write = ls.write[r] != 0;
+                    }
+
+                    // Re-checked every slot: an earlier lane's miss this
+                    // very round may have invalidated one of our lines.
+                    // (Always false in the fused walk — nothing is ever
+                    // classified ahead there.)
+                    const bool cached =
+                        r < ls.clsTo && ls.gen == ls.l1->generation();
+                    mem::L1FastOutcome out;
+                    if (cached) {
+                        out = static_cast<mem::L1FastOutcome>(
+                            ls.outcome[r]);
+                        if (out == mem::L1FastOutcome::Hit)
+                            ls.l1->retireHitAt(unit, ls.waySel[r], write);
+                    } else {
+                        out = ls.l1->accessClassify(unit, write);
+                    }
+
+                    if (out == mem::L1FastOutcome::Hit) {
+                        ProcStats &ps = stats_.procs[p];
+                        ++ps.accesses;
+                        if (write)
+                            ++ps.writes;
+                        else
+                            ++ps.reads;
+                        ++ps.l1Hits;
+                        continue;
+                    }
+                    all_hit = false;
+                    if (out == mem::L1FastOutcome::Miss) {
+                        ProcStats &ps = stats_.procs[p];
+                        ++ps.accesses;
+                        if (write)
+                            ++ps.writes;
+                        else
+                            ++ps.reads;
+                        ++ps.l1Misses;
+                        // A cached Miss verdict carries its prepared
+                        // signature bit; a scalar reclassify hashes it
+                        // here (no prefetch — the stale path is rare).
+                        const MissPrep prep{
+                            interconnect_.busOf(unit),
+                            cached ? ls.sigBit[r]
+                                   : mem::WritebackBuffer::signatureBitOf(
+                                         unit)};
+                        missTail(p,
+                                 write ? AccessType::Write
+                                       : AccessType::Read,
+                                 unit, unit, &prep);
+                        continue;
+                    }
+                    // Blocked: a write hit lacking permission — the
+                    // rare upgrade path; take the fully general route.
+                    processorAccess(p,
+                                    write ? AccessType::Write
+                                          : AccessType::Read,
+                                    unit);
                 }
-                // Blocked: a write hit lacking permission — the rare
-                // upgrade path; take the fully general route.
-                processorAccess(p, rec.type, rec.addr);
+                hitStreak = all_hit ? hitStreak + 1 : 0;
+                ++r;
             }
         }
 
         // Chunk boundary: replay every node's queued filter events
         // through the batched probe path before the queues grow past
-        // the cache-friendly chunk size.
+        // the cache-friendly chunk size, then fold the chunk's per-bus
+        // occupancy deltas in ascending bus order.
         flushAllBanks();
+        // Accumulate first, clear in a separate pass: mixing the adds
+        // and the resets in one loop trips a GCC 12 -O3
+        // loop-distribution misordering (the generated memset lands
+        // before the accumulation reads it feeds).
+        for (unsigned b = 0; b < interconnect_.buses(); ++b) {
+            BusStats &dst = stats_.perBus[b];
+            const BusStats &src = chunkBus_[b];
+            dst.transactions += src.transactions;
+            dst.reads += src.reads;
+            dst.readXs += src.readXs;
+            dst.upgrades += src.upgrades;
+            stats_.busSnoopTagProbes[b] += chunkBusProbes_[b];
+        }
+        std::fill(chunkBus_.begin(), chunkBus_.end(), BusStats{});
+        std::fill(chunkBusProbes_.begin(), chunkBusProbes_.end(),
+                  std::uint64_t{0});
     }
 
     deferActive_ = false;
     for (auto &node : nodes_)
         node->bank->endDeferred();
+}
+
+std::size_t
+SmpSystem::firstNonHit(Lane &ls, std::size_t from, std::size_t limit,
+                       std::size_t rounds)
+{
+    constexpr auto kHit = static_cast<std::uint8_t>(mem::L1FastOutcome::Hit);
+    const std::uint64_t gen = ls.l1->generation();
+    if (ls.gen != gen) {
+        // The window is stale: a fill/invalidate/permission change
+        // moved the generation. Re-take it from the cursor and re-seed
+        // the adaptive window — the run pattern restarts after an
+        // invalidation.
+        ls.clsTo = from;
+        ls.gen = gen;
+        ls.win = kClassifyWindowMin;
+    } else if (ls.clsTo < from) {
+        // Valid but consumed past: the drain advanced beyond the
+        // window without touching this lane's L1. Keep the grown
+        // window size — the verdicts were good, only the cursor moved.
+        ls.clsTo = from;
+    }
+    std::size_t f = from;
+    for (;;) {
+        if (f >= limit)
+            return limit;
+        if (f == ls.clsTo) {
+            const std::size_t to =
+                std::min(ls.clsTo + ls.win, rounds);
+            ls.win = std::min(ls.win * 2, kClassifyWindowMax);
+            ls.l1->classifyBatch(ls.unit.data() + ls.clsTo,
+                                 ls.write.data() + ls.clsTo, to - ls.clsTo,
+                                 ls.outcome.data() + ls.clsTo,
+                                 ls.waySel.data() + ls.clsTo);
+            prepareMissRows(ls, ls.clsTo, to);
+            ls.clsTo = to;
+        }
+        const std::size_t end = std::min(ls.clsTo, limit);
+        while (f < end && ls.outcome[f] == kHit)
+            ++f;
+        if (f < end)
+            return f;
+    }
+}
+
+void
+SmpSystem::prepareMissRows(Lane &ls, std::size_t from, std::size_t to)
+{
+    // Hit-only windows (the common case everywhere but the miss-heavy
+    // apps) pay one byte scan and nothing else.
+    constexpr auto kMiss =
+        static_cast<std::uint8_t>(mem::L1FastOutcome::Miss);
+    bool any_miss = false;
+    for (std::size_t k = from; k < to && !any_miss; ++k)
+        any_miss = ls.outcome[k] == kMiss;
+    if (!any_miss)
+        return;
+    simd::oneHotHash(ls.unit.data() + from, to - from,
+                     mem::WritebackBuffer::kSigPreShift,
+                     mem::WritebackBuffer::kSigMul,
+                     mem::WritebackBuffer::kSigPostShift,
+                     ls.sigBit.data() + from);
+    // Every node's L2 set line for each upcoming miss: the drain's
+    // remote snoop probes (3 cold tag reads per miss) plus the
+    // requester's own probe/fill are the miss path's dominant stalls.
+    for (std::size_t k = from; k < to; ++k) {
+        if (ls.outcome[k] != kMiss)
+            continue;
+        const Addr unit = ls.unit[k];
+        for (const auto &node : nodes_)
+            node->l2->prefetchSet(unit);
+    }
 }
 
 const filter::FilterBank &
@@ -286,15 +536,21 @@ SmpSystem::enforceInclusion(ProcId p, Addr unitAddr)
 }
 
 BusResponse
-SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
+SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr,
+                     const MissPrep *prep)
 {
     BusResponse resp;
     ++stats_.snoopTransactions;
 
-    // Route to the unit's home bus and count its occupancy.
-    const unsigned bus = interconnect_.busOf(unitAddr);
+    // Route to the unit's home bus and count its occupancy. While the
+    // hot loop runs the counts land in the chunk-local deltas and fold
+    // into SimStats bus-major at the chunk boundary.
+    const unsigned bus = prep ? prep->bus : interconnect_.busOf(unitAddr);
     {
-        BusStats &bs = stats_.perBus[bus];
+        BusStats &bs =
+            deferActive_ ? chunkBus_[bus] : stats_.perBus[bus];
+        std::uint64_t &probes = deferActive_ ? chunkBusProbes_[bus]
+                                             : stats_.busSnoopTagProbes[bus];
         ++bs.transactions;
         switch (op) {
           case BusOp::BusRead:
@@ -309,7 +565,7 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
           case BusOp::BusWriteback:
             break;
         }
-        stats_.busSnoopTagProbes[bus] += nodes_.size() - 1;
+        probes += nodes_.size() - 1;
     }
 
     if (deferActive_) {
@@ -321,7 +577,8 @@ SmpSystem::broadcast(ProcId requester, BusOp op, Addr unitAddr)
         // for the chunk-end batched replay instead of walking every
         // filter now.
         const std::uint64_t sig_bit =
-            mem::WritebackBuffer::signatureBitOf(unitAddr);
+            prep ? prep->sigBit
+                 : mem::WritebackBuffer::signatureBitOf(unitAddr);
         for (unsigned q = 0; q < nodes_.size(); ++q) {
             if (q == requester)
                 continue;
@@ -481,7 +738,8 @@ SmpSystem::pushVictim(ProcId p, const mem::L2Victim &victim)
 }
 
 coherence::State
-SmpSystem::fetchUnit(ProcId p, Addr unitAddr, bool forWrite)
+SmpSystem::fetchUnit(ProcId p, Addr unitAddr, bool forWrite,
+                     const MissPrep *prep)
 {
     Node &node = *nodes_[p];
     ProcStats &ps = stats_.procs[p];
@@ -497,13 +755,13 @@ SmpSystem::fetchUnit(ProcId p, Addr unitAddr, bool forWrite)
         fill_state = wb_entry.state;
         if (forWrite && !coherence::isWritable(fill_state)) {
             // An Owned victim may still be shared elsewhere: upgrade.
-            broadcast(p, BusOp::BusUpgrade, unitAddr);
+            broadcast(p, BusOp::BusUpgrade, unitAddr, prep);
             ++ps.busUpgrades;
             fill_state = State::Modified;
         }
     } else {
         const BusOp op = forWrite ? BusOp::BusReadX : BusOp::BusRead;
-        const BusResponse resp = broadcast(p, op, unitAddr);
+        const BusResponse resp = broadcast(p, op, unitAddr, prep);
         if (op == BusOp::BusRead)
             ++ps.busReads;
         else
@@ -593,7 +851,8 @@ SmpSystem::processorAccess(ProcId p, AccessType type, Addr addr)
 }
 
 void
-SmpSystem::missTail(ProcId p, AccessType type, Addr addr, Addr unit)
+SmpSystem::missTail(ProcId p, AccessType type, Addr addr, Addr unit,
+                    const MissPrep *prep)
 {
     Node &node = *nodes_[p];
     ProcStats &ps = stats_.procs[p];
@@ -609,7 +868,7 @@ SmpSystem::missTail(ProcId p, AccessType type, Addr addr, Addr unit)
     if (l2_hit && type == AccessType::Write &&
         !coherence::isWritable(unit_state)) {
         // Write to a Shared/Owned unit: upgrade first.
-        broadcast(p, BusOp::BusUpgrade, unit);
+        broadcast(p, BusOp::BusUpgrade, unit, prep);
         ++ps.busUpgrades;
         node.l2->setStateAt(way, unit, State::Modified);
         ++ps.traffic.localTagUpdates;
@@ -627,7 +886,7 @@ SmpSystem::missTail(ProcId p, AccessType type, Addr addr, Addr unit)
         }
         ++ps.traffic.localDataReads;  // unit handed to the L1
     } else {
-        unit_state = fetchUnit(p, unit, type == AccessType::Write);
+        unit_state = fetchUnit(p, unit, type == AccessType::Write, prep);
     }
 
     // ---- Fill the L1 (write-allocate). ----

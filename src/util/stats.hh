@@ -66,6 +66,8 @@ medianInPlace(std::vector<double> &samples)
 {
     if (samples.empty())
         return 0.0;
+    if (samples.size() == 1)
+        return samples[0];  // nothing to sort for a single sample
     std::sort(samples.begin(), samples.end());
     return samples[(samples.size() - 1) / 2];
 }

@@ -211,6 +211,22 @@ function(expect_exit expected)
   endif()
 endfunction()
 
+function(expect_stdout_matches regex)
+  # ARGN is the bench_compare argument list; exit code is not checked
+  # here (pair with expect_exit for that).
+  execute_process(
+    COMMAND ${TOOL} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGN})
+  if(NOT out MATCHES "${regex}")
+    message(FATAL_ERROR
+            "bench_compare ${pretty}: stdout does not match "
+            "\"${regex}\"\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
 # Self-compare and name-keyed reordering pass.
 expect_exit(0 ${WORK}/base.json ${WORK}/base.json)
 expect_exit(0 ${WORK}/base.json ${WORK}/reordered.json)
@@ -218,6 +234,12 @@ expect_exit(0 ${WORK}/base.json ${WORK}/reordered.json)
 # A 25% absolute-rate regression fails... unless only ratios are gated.
 expect_exit(2 ${WORK}/base.json ${WORK}/regress_rate.json)
 expect_exit(0 ${WORK}/base.json ${WORK}/regress_rate.json --ratios-only)
+
+# The FAIL line names the worst offending row and its delta, so a CI
+# log tail is diagnosable without scrolling up to the table.
+expect_stdout_matches(
+  "FAIL: 1 metric\\(s\\) regressed more than 10\\.0% vs [^\n]* \\(worst: workloads\\[lu\\]\\.batched_refs_per_sec -25\\.0%\\)"
+  ${WORK}/base.json ${WORK}/regress_rate.json)
 
 # A collapsed speedup fails either way.
 expect_exit(2 ${WORK}/base.json ${WORK}/regress_ratio.json)

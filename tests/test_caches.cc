@@ -522,6 +522,138 @@ TEST(L1Cache, FastPathMatchesSlowPathAcrossDirtyEvictionBoundaries)
     EXPECT_EQ(fast.validLines(), slow.validLines());
 }
 
+namespace
+{
+
+/** One scripted reference for the classify-equivalence harness. */
+struct Ref
+{
+    Addr addr;
+    bool write;
+};
+
+/**
+ * Drive @p batch through one classifyBatch() window (retiring hits via
+ * retireHitAt) and @p oracle through per-reference accessClassify(),
+ * asserting identical verdicts row by row and identical final line
+ * state. Valid only for windows that trigger no fill: classification
+ * never moves the generation, so the whole window stays exact — the
+ * contract Stage 1 of the batched hot loop relies on.
+ */
+void
+expectBatchMatchesOracle(L1Cache &batch, L1Cache &oracle,
+                         const std::vector<Ref> &refs)
+{
+    const std::size_t n = refs.size();
+    std::vector<Addr> addrs(n);
+    std::vector<std::uint8_t> writes(n), outcome(n, 0xAB),
+        waySel(n, 0xAB);
+    for (std::size_t k = 0; k < n; ++k) {
+        addrs[k] = refs[k].addr;
+        writes[k] = static_cast<std::uint8_t>(refs[k].write);
+    }
+    const std::uint64_t gen = batch.generation();
+    batch.classifyBatch(addrs.data(), writes.data(), n, outcome.data(),
+                        waySel.data());
+    EXPECT_EQ(batch.generation(), gen) << "classifyBatch mutated state";
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto want = oracle.accessClassify(refs[k].addr,
+                                                refs[k].write);
+        ASSERT_EQ(static_cast<L1FastOutcome>(outcome[k]), want)
+            << "row " << k;
+        if (want == L1FastOutcome::Hit)
+            batch.retireHitAt(refs[k].addr, waySel[k], refs[k].write);
+    }
+    const auto lb = batch.validLineInfo();
+    const auto lo = oracle.validLineInfo();
+    ASSERT_EQ(lb.size(), lo.size());
+    for (std::size_t k = 0; k < lb.size(); ++k) {
+        EXPECT_EQ(lb[k].lineAddr, lo[k].lineAddr) << k;
+        EXPECT_EQ(lb[k].writable, lo[k].writable) << k;
+        EXPECT_EQ(lb[k].dirty, lo[k].dirty) << k;
+    }
+}
+
+/** Install @p addr with @p writable permission in both caches. */
+void
+fillBoth(L1Cache &batch, L1Cache &oracle, Addr addr, bool writable)
+{
+    L1Victim v;
+    batch.fill(addr, writable, v);
+    oracle.fill(addr, writable, v);
+}
+
+} // namespace
+
+TEST(L1Cache, ClassifyBatchShorterThanSimdWidth)
+{
+    // Lengths below one vector width (4 x u64 on AVX2) exercise the
+    // kernels' tail handling through the real cache geometry.
+    const L1Config cfg = smallL1();
+    for (std::size_t n = 1; n <= 3; ++n) {
+        L1Cache batch(cfg), oracle(cfg);
+        fillBoth(batch, oracle, 0x1000, true);
+        std::vector<Ref> refs;
+        for (std::size_t k = 0; k < n; ++k)
+            refs.push_back({k == 0 ? Addr{0x1000} : Addr{0x2000 + 32 * k},
+                            k == 0});
+        expectBatchMatchesOracle(batch, oracle, refs);
+    }
+}
+
+TEST(L1Cache, ClassifyBatchAllBlockedChunk)
+{
+    // Writes against read-only lines: a whole window of Blocked
+    // verdicts, none of which may touch LRU or dirty state.
+    const L1Config cfg = smallL1();
+    L1Cache batch(cfg), oracle(cfg);
+    std::vector<Ref> refs;
+    for (Addr a = 0x4000; a < 0x4000 + 8 * 32; a += 32) {
+        fillBoth(batch, oracle, a, false);
+        refs.push_back({a, true});
+    }
+    expectBatchMatchesOracle(batch, oracle, refs);
+}
+
+TEST(L1Cache, ClassifyBatchMaxPhysicalAddresses)
+{
+    // Full-width 56-bit addresses (the largest physAddrBits the
+    // simulator configures): no kernel lane may narrow a tag.
+    const Addr top = ((Addr{1} << 56) - 1) & ~Addr{31};
+    const L1Config cfg = smallL1();
+    L1Cache batch(cfg), oracle(cfg);
+    fillBoth(batch, oracle, top, true);
+    fillBoth(batch, oracle, top - 32, false);
+    const std::vector<Ref> refs = {
+        {top, true},        // hit, writable
+        {top - 32, false},  // hit, read-only line
+        {top - 64, false},  // miss
+        {top - 32, true},   // blocked
+        {top, false},       // hit again
+    };
+    expectBatchMatchesOracle(batch, oracle, refs);
+}
+
+TEST(L1Cache, ClassifyBatchAlternatingHitMiss)
+{
+    // The interleaved hit/miss pattern the branchless verdict mapping
+    // exists for, across both bench geometries (direct-mapped and
+    // 4-way).
+    for (const unsigned assoc : {1u, 4u}) {
+        L1Config cfg = smallL1();
+        cfg.assoc = assoc;
+        L1Cache batch(cfg), oracle(cfg);
+        std::vector<Ref> refs;
+        for (unsigned k = 0; k < 16; ++k) {
+            const Addr a = 0x8000 + 32 * k;
+            if (k % 2 == 0)
+                fillBoth(batch, oracle, a, k % 4 == 0);
+            refs.push_back({a, k % 4 == 2});
+        }
+        expectBatchMatchesOracle(batch, oracle, refs);
+    }
+}
+
 TEST(L1Cache, FastPathRefusalLeavesCacheUntouched)
 {
     // A refused fast access (miss, or write without permission) must not

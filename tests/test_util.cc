@@ -149,6 +149,27 @@ TEST(Stats, Counter)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(Stats, MedianInPlace)
+{
+    std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(medianInPlace(empty), 0.0);
+
+    // Single sample takes the direct path: the value comes back as-is
+    // and the vector is untouched.
+    std::vector<double> one = {42.5};
+    EXPECT_DOUBLE_EQ(medianInPlace(one), 42.5);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0], 42.5);
+
+    // Odd count: the middle element after sorting.
+    std::vector<double> odd = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(medianInPlace(odd), 2.0);
+
+    // Even count: the lower-middle element (no averaging).
+    std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(medianInPlace(even), 2.0);
+}
+
 TEST(Stats, Ratios)
 {
     EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);

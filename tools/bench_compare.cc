@@ -232,6 +232,8 @@ main(int argc, char **argv)
     TextTable table;
     table.header({"metric", "baseline", "fresh", "delta", "verdict"});
     unsigned regressions = 0, skips = 0, missing = 0, compared = 0;
+    std::string worst_path;  // deepest regression, for the FAIL line
+    double worst_delta = 0.0;
     for (const auto &base : base_metrics) {
         if (ratios_only && !base.isRatio)
             continue;
@@ -257,8 +259,13 @@ main(int argc, char **argv)
         const double delta_pct =
             100.0 * (now->value - base.value) / base.value;
         const bool regressed = delta_pct < -threshold;
-        if (regressed)
+        if (regressed) {
             ++regressions;
+            if (delta_pct < worst_delta) {
+                worst_delta = delta_pct;
+                worst_path = base.path;
+            }
+        }
         char delta[32];
         std::snprintf(delta, sizeof delta, "%+.1f%%", delta_pct);
         table.row({base.path, TextTable::num(base.value, 3),
@@ -282,9 +289,13 @@ main(int argc, char **argv)
         return 1;
     }
     if (regressions > 0) {
+        // Name the deepest offender inline: a CI log tail shows the
+        // FAIL line long before the table, so the row that broke the
+        // gate must be readable from it alone.
         std::printf("FAIL: %u metric(s) regressed more than %.1f%% vs "
-                    "%s\n",
-                    regressions, threshold, baseline_path.c_str());
+                    "%s (worst: %s %+.1f%%)\n",
+                    regressions, threshold, baseline_path.c_str(),
+                    worst_path.c_str(), worst_delta);
         return 2;
     }
     std::printf("PASS: no metric regressed more than %.1f%% "
