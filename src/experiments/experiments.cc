@@ -10,6 +10,7 @@
 #include <set>
 
 #include "core/filter_spec.hh"
+#include "experiments/disk_cache.hh"
 #include "trace/trace_file.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -181,46 +182,55 @@ profileFingerprint(const trace::AppProfile &app)
  */
 using RunKey = std::string;
 
-/**
- * Content digest of a trace file, memoized per (path, size, mtime) so
- * repeated replays of one capture — the whole point of digest-keyed
- * caching — do not re-scan a possibly larger-than-RAM file per request.
- * A rewritten file changes size or mtime and re-hashes.
- */
-std::uint64_t
-cachedTraceFileDigest(const std::string &path)
+/** (size, nanosecond-mtime) identity of a file at one instant.
+ *  Nanosecond mtime: a same-size rewrite within one second must not
+ *  serve a stale digest. */
+struct DigestStamp
 {
-    struct Stamp
-    {
-        std::uint64_t size = 0;
-        std::int64_t mtime = 0;
-        std::uint64_t digest = 0;
-    };
-    static std::mutex mu;
-    static std::map<std::string, Stamp> digests;
+    std::uint64_t size = 0;
+    std::int64_t mtime = 0;
 
+    bool
+    operator==(const DigestStamp &o) const
+    {
+        return size == o.size && mtime == o.mtime;
+    }
+};
+
+struct MemoizedDigest
+{
+    DigestStamp stamp;
+    std::uint64_t digest = 0;
+};
+
+/** The trace-digest memo behind traceFileDigestCached(), with the test
+ *  seams RunCache::clear() and the TOCTOU regression tests need. */
+struct DigestMemo
+{
+    std::mutex mu;
+    std::map<std::string, MemoizedDigest> entries;
+    std::function<void(const std::string &)> preHashHook;
+};
+
+DigestMemo &
+digestMemo()
+{
+    static DigestMemo memo;
+    return memo;
+}
+
+DigestStamp
+statStamp(const std::string &path)
+{
     struct ::stat st = {};
     if (::stat(path.c_str(), &st) != 0)
         fatal("traceFileDigest: cannot stat '" + path + "'");
-    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
-    // Nanosecond mtime: a same-size rewrite within one second must not
-    // serve the stale digest.
-    const std::int64_t mtime =
+    DigestStamp stamp;
+    stamp.size = static_cast<std::uint64_t>(st.st_size);
+    stamp.mtime =
         static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
         static_cast<std::int64_t>(st.st_mtim.tv_nsec);
-
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        const auto it = digests.find(path);
-        if (it != digests.end() && it->second.size == size &&
-            it->second.mtime == mtime) {
-            return it->second.digest;
-        }
-    }
-    const std::uint64_t digest = trace::traceFileDigest(path);
-    std::lock_guard<std::mutex> lock(mu);
-    digests[path] = {size, mtime, digest};
-    return digest;
+    return stamp;
 }
 
 /** One cached simulation: the full result plus the specs it covers. */
@@ -269,6 +279,59 @@ project(const AppRunResult &full, const std::vector<std::string> &names)
 } // namespace
 
 std::uint64_t
+traceFileDigestCached(const std::string &path)
+{
+    auto &memo = digestMemo();
+    // The naive memoization is a TOCTOU: stat, hash, then memoize the
+    // digest under the *pre-hash* stamp. A file rewritten between the
+    // stat and the hash poisons the memo — the new content's digest
+    // sits under the old content's stamp, and once the file is restored
+    // the stale entry matches again and serves the wrong digest forever.
+    // So: memoize only when a *post-hash* re-stat shows the same stamp,
+    // retrying a few times, and fall through to an unmemoized hash when
+    // the file will not hold still.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const DigestStamp before = statStamp(path);
+        std::function<void(const std::string &)> hook;
+        {
+            std::lock_guard<std::mutex> lock(memo.mu);
+            const auto it = memo.entries.find(path);
+            if (it != memo.entries.end() && it->second.stamp == before)
+                return it->second.digest;
+            hook = memo.preHashHook;
+        }
+        if (hook)
+            hook(path);  // test seam: the stat-to-hash race window
+        const std::uint64_t digest = trace::traceFileDigest(path);
+        const DigestStamp after = statStamp(path);
+        if (after == before) {
+            std::lock_guard<std::mutex> lock(memo.mu);
+            memo.entries[path] = {after, digest};
+            return digest;
+        }
+        // The file changed underneath the hash: the digest matches
+        // neither stamp reliably. Try again against the new stamp.
+    }
+    return trace::traceFileDigest(path);
+}
+
+void
+invalidateTraceDigestMemo()
+{
+    auto &memo = digestMemo();
+    std::lock_guard<std::mutex> lock(memo.mu);
+    memo.entries.clear();
+}
+
+void
+setTraceDigestPreHashHook(std::function<void(const std::string &)> hook)
+{
+    auto &memo = digestMemo();
+    std::lock_guard<std::mutex> lock(memo.mu);
+    memo.preHashHook = std::move(hook);
+}
+
+std::uint64_t
 workloadFingerprint(const RunRequest &req)
 {
     if (!req.traceFiles.empty()) {
@@ -277,7 +340,7 @@ workloadFingerprint(const RunRequest &req)
         Fnv fnv;
         fnv.mix(static_cast<std::uint64_t>(req.traceFiles.size()));
         for (const auto &file : req.traceFiles)
-            fnv.mix(cachedTraceFileDigest(file));
+            fnv.mix(traceFileDigestCached(file));
         return fnv.value();
     }
     return profileFingerprint(req.app);
@@ -324,9 +387,31 @@ struct RunCache::Impl
     std::map<RunKey, CacheEntry> entries;
     std::uint64_t sims = 0;
     std::uint64_t hits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskBudget = kDefaultDiskBudgetBytes;
+    std::unique_ptr<DiskCache> disk;  //!< tier 1; null = memory only
 };
 
-RunCache::RunCache() : impl_(std::make_unique<Impl>()) {}
+RunCache::RunCache() : impl_(std::make_unique<Impl>())
+{
+    // Library default: no disk tier (tests and benches stay hermetic).
+    // The environment opts a whole process tree in; jetty_cli layers its
+    // own default root on top via setDiskRoot().
+    if (const char *env = std::getenv("JETTY_CACHE_BYTES")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            impl_->diskBudget = v;
+        else
+            warn("ignoring non-positive JETTY_CACHE_BYTES");
+    }
+    if (const char *env = std::getenv("JETTY_CACHE_DIR")) {
+        const std::string root = env;
+        if (!root.empty() && root != "off")
+            impl_->disk =
+                std::make_unique<DiskCache>(root, impl_->diskBudget);
+    }
+}
+
 RunCache::~RunCache() = default;
 
 RunCache &
@@ -339,10 +424,18 @@ RunCache::instance()
 void
 RunCache::clear()
 {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->entries.clear();
-    impl_->sims = 0;
-    impl_->hits = 0;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->entries.clear();
+        impl_->sims = 0;
+        impl_->hits = 0;
+        impl_->diskHits = 0;
+    }
+    // The digest memo is keyed by (size, mtime) stamps, and mtime
+    // granularity is filesystem-dependent: a test that rewrites a trace
+    // file between runs cannot rely on the stamp changing. clear() is
+    // the "start from nothing" seam, so it drops the memo too.
+    invalidateTraceDigestMemo();
 }
 
 std::uint64_t
@@ -357,6 +450,40 @@ RunCache::hits() const
 {
     std::lock_guard<std::mutex> lock(impl_->mu);
     return impl_->hits;
+}
+
+std::uint64_t
+RunCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->diskHits;
+}
+
+void
+RunCache::setDiskRoot(const std::string &root)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (root.empty() || root == "off")
+        impl_->disk.reset();
+    else
+        impl_->disk = std::make_unique<DiskCache>(root, impl_->diskBudget);
+}
+
+std::string
+RunCache::diskRoot() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->disk ? impl_->disk->root() : std::string();
+}
+
+void
+RunCache::setDiskBudget(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->diskBudget = bytes;
+    if (impl_->disk)
+        impl_->disk =
+            std::make_unique<DiskCache>(impl_->disk->root(), bytes);
 }
 
 // ---- Declarative runs ------------------------------------------------
@@ -429,15 +556,55 @@ runMany(const std::vector<RunRequest> &requests, unsigned jobs)
             const Prepared &p = prepared[r];
             const auto pend_it = pending.find(p.key);
             if (pend_it == pending.end()) {
-                const auto it = cache.entries.find(p.key);
-                bool covered = it != cache.entries.end();
-                if (covered) {
-                    for (const auto &name : p.names)
-                        covered = covered && it->second.covered.count(name);
-                }
-                if (covered) {
+                const auto coversAll = [&p](const CacheEntry &entry) {
+                    for (const auto &name : p.names) {
+                        if (!entry.covered.count(name))
+                            return false;
+                    }
+                    return true;
+                };
+                auto it = cache.entries.find(p.key);
+                if (it != cache.entries.end() && coversAll(it->second)) {
                     ++cache.hits;
                     continue;
+                }
+                // Tier-0 miss (or under-coverage): consult the disk tier
+                // and fold whatever it holds into tier 0 — another
+                // process may have simulated this cell, possibly with a
+                // superset of the specs we need.
+                if (cache.disk) {
+                    AppRunResult dres;
+                    std::set<std::string> dcov;
+                    if (cache.disk->lookup(p.key, dres, dcov)) {
+                        CacheEntry &entry = cache.entries[p.key];
+                        if (entry.covered.empty()) {
+                            entry.result = std::move(dres);
+                            entry.covered = std::move(dcov);
+                        } else {
+                            // Merge, never overwrite: tier 0 may hold
+                            // filters the disk entry predates.
+                            auto &names = entry.result.filterNames;
+                            for (std::size_t f = 0;
+                                 f < dres.filterNames.size(); ++f) {
+                                const auto &name = dres.filterNames[f];
+                                if (std::find(names.begin(), names.end(),
+                                              name) == names.end()) {
+                                    names.push_back(name);
+                                    entry.result.filterStats.push_back(
+                                        dres.filterStats[f]);
+                                    entry.result.filterCosts.push_back(
+                                        dres.filterCosts[f]);
+                                }
+                            }
+                            entry.covered.insert(dcov.begin(), dcov.end());
+                        }
+                        it = cache.entries.find(p.key);
+                        if (coversAll(it->second)) {
+                            ++cache.hits;
+                            ++cache.diskHits;
+                            continue;
+                        }
+                    }
                 }
                 PendingJob job;
                 job.request = r;
@@ -525,6 +692,10 @@ runMany(const std::vector<RunRequest> &requests, unsigned jobs)
             entry.covered.insert(entry.result.filterNames.begin(),
                                  entry.result.filterNames.end());
             ++cache.sims;
+            // Persist the freshly simulated (and merged) cell so any
+            // later process starts warm. Best effort by contract.
+            if (cache.disk)
+                cache.disk->publish(key, entry.result, entry.covered);
             ++i;
         }
     }

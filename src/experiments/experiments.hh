@@ -18,6 +18,7 @@
 #define JETTY_EXPERIMENTS_EXPERIMENTS_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -121,6 +122,28 @@ struct RunRequest
 std::uint64_t workloadFingerprint(const RunRequest &req);
 
 /**
+ * Content digest of a trace file, memoized per (path, size,
+ * nanosecond-mtime) stamp so repeated replays of one capture do not
+ * re-scan a possibly larger-than-RAM file per request. Safe against the
+ * stat/hash race: the stamp is re-checked *after* hashing and the digest
+ * is only memoized when the file did not change underneath the hash;
+ * a file that keeps changing is re-hashed unmemoized. fatal() when the
+ * file cannot be stat'ed.
+ */
+std::uint64_t traceFileDigestCached(const std::string &path);
+
+/** Drop every memoized trace digest (also done by RunCache::clear()),
+ *  so a test — or a long-lived server — never trusts a stamp across an
+ *  explicit invalidation point. */
+void invalidateTraceDigestMemo();
+
+/** Test seam: run @p hook (empty = none) between the digest memo's
+ *  pre-hash stat and the hash itself — the TOCTOU window — e.g. to
+ *  rewrite the file mid-race in a regression test. */
+void setTraceDigestPreHashHook(
+    std::function<void(const std::string &path)> hook);
+
+/**
  * The RunCache identity of @p req under @p scale: the canonical
  * (sorted-keys, minimal-whitespace, shortest-exact-number) JSON
  * serialization of the simulated cell — variant machine + workload
@@ -173,13 +196,23 @@ double defaultScale();
  * filter specs are covered by the cached entry is a hit; otherwise the
  * cell re-simulates once with the union of the old and new specs.
  * Thread-safe.
+ *
+ * An optional on-disk tier (experiments/disk_cache.hh) persists every
+ * cell across processes: tier-0 misses consult it before simulating, and
+ * every simulation publishes through it. Off by default so tests stay
+ * hermetic; enabled by setDiskRoot() or the JETTY_CACHE_DIR environment
+ * variable ("" or "off" disables). jetty_cli default-enables it under
+ * ~/.cache/jetty for run/sweep/replay/serve.
  */
 class RunCache
 {
   public:
     static RunCache &instance();
 
-    /** Forget every cached run (tests). */
+    /** Forget every cached run and every memoized trace digest, and
+     *  reset the counters (tests). The on-disk tier's *files* survive —
+     *  clearing tier 0 is exactly how a test models a fresh process
+     *  reusing the persistent tier. */
     void clear();
 
     /** Simulations actually executed (cache misses) since start/clear. */
@@ -187,6 +220,21 @@ class RunCache
 
     /** Requests answered without simulating since start/clear. */
     std::uint64_t hits() const;
+
+    /** Requests answered from the on-disk tier since start/clear
+     *  (counted inside hits() too). */
+    std::uint64_t diskHits() const;
+
+    /** Attach the on-disk tier at @p root (created if missing); "" or
+     *  "off" detaches it. Replaces any previously attached root. */
+    void setDiskRoot(const std::string &root);
+
+    /** The attached on-disk root ("" when the tier is off). */
+    std::string diskRoot() const;
+
+    /** LRU byte budget for the on-disk tier (applies to the current and
+     *  any later attached root). */
+    void setDiskBudget(std::uint64_t bytes);
 
   private:
     RunCache();

@@ -1,0 +1,384 @@
+#include "experiments/run_result_json.hh"
+
+#include <utility>
+
+namespace jetty::experiments
+{
+
+namespace
+{
+
+// Field lists shared by the writer and the reader, keyed by member
+// name, so the two directions cannot drift apart.
+#define JETTY_PROC_STAT_FIELDS(X)                                            \
+    X(accesses)                                                              \
+    X(reads)                                                                 \
+    X(writes)                                                                \
+    X(l1Hits)                                                                \
+    X(l1Misses)                                                              \
+    X(l1Writebacks)                                                          \
+    X(l1SnoopInvalidations)                                                  \
+    X(l2LocalAccesses)                                                       \
+    X(l2LocalHits)                                                           \
+    X(l2Fills)                                                               \
+    X(l2Evictions)                                                           \
+    X(upgradesSilent)                                                        \
+    X(busReads)                                                              \
+    X(busReadXs)                                                             \
+    X(busUpgrades)                                                           \
+    X(busWritebacks)                                                         \
+    X(snoopTagProbes)                                                        \
+    X(snoopHits)                                                             \
+    X(snoopMisses)                                                           \
+    X(snoopSupplies)                                                         \
+    X(wbInsertions)                                                          \
+    X(wbSnoopsHit)                                                           \
+    X(wbReclaims)                                                            \
+    X(wbDrains)
+
+#define JETTY_L2_TRAFFIC_FIELDS(X)                                           \
+    X(localTagProbes)                                                        \
+    X(localTagUpdates)                                                       \
+    X(localDataReads)                                                        \
+    X(localDataWrites)                                                       \
+    X(snoopTagProbes)                                                        \
+    X(snoopTagUpdates)                                                       \
+    X(snoopDataReads)
+
+#define JETTY_FILTER_STAT_FIELDS(X)                                          \
+    X(probes)                                                                \
+    X(filtered)                                                              \
+    X(wouldMiss)                                                             \
+    X(filteredWouldMiss)                                                     \
+    X(snoopAllocs)                                                           \
+    X(fillUpdates)                                                           \
+    X(evictUpdates)                                                          \
+    X(safetyViolations)
+
+#define JETTY_FILTER_COST_FIELDS(X)                                          \
+    X(probe)                                                                 \
+    X(snoopAlloc)                                                            \
+    X(fillUpdate)                                                            \
+    X(evictUpdate)
+
+#define JETTY_BUS_STAT_FIELDS(X)                                             \
+    X(transactions)                                                          \
+    X(reads)                                                                 \
+    X(readXs)                                                                \
+    X(upgrades)
+
+/** Validating field reader: records the first failure and turns every
+ *  later access into a no-op, so call sites stay linear. */
+struct Reader
+{
+    std::string err;
+
+    bool ok() const { return err.empty(); }
+
+    void
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+    }
+
+    const json::Value *
+    get(const json::Value &o, const char *key)
+    {
+        if (!err.empty())
+            return nullptr;
+        const json::Value *v = o.isObject() ? o.find(key) : nullptr;
+        if (!v)
+            fail("missing field '" + std::string(key) + "'");
+        return v;
+    }
+
+    void
+    u64(const json::Value &o, const char *key, std::uint64_t &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isNumber() || !v->fitsU64()) {
+            fail("field '" + std::string(key) + "' is not a u64");
+            return;
+        }
+        out = v->asU64();
+    }
+
+    void
+    dbl(const json::Value &o, const char *key, double &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isNumber()) {
+            fail("field '" + std::string(key) + "' is not a number");
+            return;
+        }
+        out = v->asDouble();
+    }
+
+    void
+    boolean(const json::Value &o, const char *key, bool &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isBool()) {
+            fail("field '" + std::string(key) + "' is not a bool");
+            return;
+        }
+        out = v->asBool();
+    }
+
+    void
+    str(const json::Value &o, const char *key, std::string &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isString()) {
+            fail("field '" + std::string(key) + "' is not a string");
+            return;
+        }
+        out = v->asString();
+    }
+
+    const json::Value *
+    arr(const json::Value &o, const char *key)
+    {
+        const json::Value *v = get(o, key);
+        if (v && !v->isArray()) {
+            fail("field '" + std::string(key) + "' is not an array");
+            return nullptr;
+        }
+        return v;
+    }
+
+    const json::Value *
+    obj(const json::Value &o, const char *key)
+    {
+        const json::Value *v = get(o, key);
+        if (v && !v->isObject()) {
+            fail("field '" + std::string(key) + "' is not an object");
+            return nullptr;
+        }
+        return v;
+    }
+
+    void
+    u64Vector(const json::Value &o, const char *key,
+              std::vector<std::uint64_t> &out)
+    {
+        const json::Value *v = arr(o, key);
+        if (!v)
+            return;
+        out.clear();
+        for (const auto &item : v->items()) {
+            if (!item.isNumber() || !item.fitsU64()) {
+                fail("array '" + std::string(key) +
+                     "' holds a non-u64 element");
+                return;
+            }
+            out.push_back(item.asU64());
+        }
+    }
+};
+
+json::Value
+trafficToJson(const energy::L2Traffic &t)
+{
+    json::Value v = json::Value::object();
+#define X(f) v.set(#f, t.f);
+    JETTY_L2_TRAFFIC_FIELDS(X)
+#undef X
+    return v;
+}
+
+void
+trafficFromJson(Reader &rd, const json::Value &v, energy::L2Traffic &t)
+{
+#define X(f) rd.u64(v, #f, t.f);
+    JETTY_L2_TRAFFIC_FIELDS(X)
+#undef X
+}
+
+json::Value
+procToJson(const sim::ProcStats &p)
+{
+    json::Value v = json::Value::object();
+#define X(f) v.set(#f, p.f);
+    JETTY_PROC_STAT_FIELDS(X)
+#undef X
+    v.set("traffic", trafficToJson(p.traffic));
+    return v;
+}
+
+void
+procFromJson(Reader &rd, const json::Value &v, sim::ProcStats &p)
+{
+#define X(f) rd.u64(v, #f, p.f);
+    JETTY_PROC_STAT_FIELDS(X)
+#undef X
+    if (const json::Value *t = rd.obj(v, "traffic"))
+        trafficFromJson(rd, *t, p.traffic);
+}
+
+json::Value
+statsToJson(const sim::SimStats &s)
+{
+    json::Value v = json::Value::object();
+    json::Value procs = json::Value::array();
+    for (const auto &p : s.procs)
+        procs.push(procToJson(p));
+    v.set("procs", std::move(procs));
+
+    json::Value remote = json::Value::object();
+    json::Value counts = json::Value::array();
+    for (std::size_t i = 0; i < s.remoteHits.buckets(); ++i)
+        counts.push(s.remoteHits.count(i));
+    remote.set("counts", std::move(counts));
+    remote.set("total", s.remoteHits.total());
+    v.set("remoteHits", std::move(remote));
+
+    v.set("snoopTransactions", s.snoopTransactions);
+
+    json::Value per_bus = json::Value::array();
+    for (const auto &b : s.perBus) {
+        json::Value bus = json::Value::object();
+#define X(f) bus.set(#f, b.f);
+        JETTY_BUS_STAT_FIELDS(X)
+#undef X
+        per_bus.push(std::move(bus));
+    }
+    v.set("perBus", std::move(per_bus));
+
+    json::Value probes = json::Value::array();
+    for (const auto p : s.busSnoopTagProbes)
+        probes.push(p);
+    v.set("busSnoopTagProbes", std::move(probes));
+    return v;
+}
+
+void
+statsFromJson(Reader &rd, const json::Value &v, sim::SimStats &out)
+{
+    const json::Value *procs = rd.arr(v, "procs");
+    if (!procs)
+        return;
+    sim::SimStats stats(static_cast<unsigned>(procs->items().size()), 1);
+    for (std::size_t i = 0; i < procs->items().size(); ++i)
+        procFromJson(rd, procs->items()[i], stats.procs[i]);
+
+    if (const json::Value *remote = rd.obj(v, "remoteHits")) {
+        std::vector<std::uint64_t> counts;
+        std::uint64_t total = 0;
+        rd.u64Vector(*remote, "counts", counts);
+        rd.u64(*remote, "total", total);
+        if (rd.ok())
+            stats.remoteHits = Histogram::fromRaw(std::move(counts), total);
+    }
+
+    rd.u64(v, "snoopTransactions", stats.snoopTransactions);
+
+    if (const json::Value *per_bus = rd.arr(v, "perBus")) {
+        stats.perBus.clear();
+        for (const auto &item : per_bus->items()) {
+            sim::BusStats bus;
+#define X(f) rd.u64(item, #f, bus.f);
+            JETTY_BUS_STAT_FIELDS(X)
+#undef X
+            stats.perBus.push_back(bus);
+        }
+    }
+    rd.u64Vector(v, "busSnoopTagProbes", stats.busSnoopTagProbes);
+    if (rd.ok())
+        out = std::move(stats);
+}
+
+} // namespace
+
+json::Value
+runResultToJson(const AppRunResult &result)
+{
+    json::Value v = json::Value::object();
+    v.set("appName", result.appName);
+    v.set("abbrev", result.abbrev);
+    v.set("memoryAllocated", result.memoryAllocated);
+    v.set("totalRefs", result.totalRefs);
+    v.set("simSeconds", result.simSeconds);
+    v.set("refsTooFewForRate", result.refsTooFewForRate);
+    v.set("stats", statsToJson(result.stats));
+
+    json::Value filters = json::Value::array();
+    for (std::size_t i = 0; i < result.filterNames.size(); ++i) {
+        json::Value f = json::Value::object();
+        f.set("name", result.filterNames[i]);
+        json::Value stats = json::Value::object();
+#define X(fld) stats.set(#fld, result.filterStats[i].fld);
+        JETTY_FILTER_STAT_FIELDS(X)
+#undef X
+        f.set("stats", std::move(stats));
+        json::Value costs = json::Value::object();
+#define X(fld) costs.set(#fld, result.filterCosts[i].fld);
+        JETTY_FILTER_COST_FIELDS(X)
+#undef X
+        f.set("costs", std::move(costs));
+        filters.push(std::move(f));
+    }
+    v.set("filters", std::move(filters));
+    v.set("traffic", trafficToJson(result.traffic));
+    return v;
+}
+
+std::string
+runResultFromJson(const json::Value &v, AppRunResult &out)
+{
+    Reader rd;
+    if (!v.isObject())
+        return "result is not an object";
+
+    AppRunResult res;
+    rd.str(v, "appName", res.appName);
+    rd.str(v, "abbrev", res.abbrev);
+    rd.u64(v, "memoryAllocated", res.memoryAllocated);
+    rd.u64(v, "totalRefs", res.totalRefs);
+    rd.dbl(v, "simSeconds", res.simSeconds);
+    rd.boolean(v, "refsTooFewForRate", res.refsTooFewForRate);
+    if (const json::Value *stats = rd.obj(v, "stats"))
+        statsFromJson(rd, *stats, res.stats);
+
+    if (const json::Value *filters = rd.arr(v, "filters")) {
+        for (const auto &item : filters->items()) {
+            std::string name;
+            rd.str(item, "name", name);
+            filter::FilterStats fs;
+            if (const json::Value *stats = rd.obj(item, "stats")) {
+#define X(fld) rd.u64(*stats, #fld, fs.fld);
+                JETTY_FILTER_STAT_FIELDS(X)
+#undef X
+            }
+            energy::FilterEnergyCosts fc;
+            if (const json::Value *costs = rd.obj(item, "costs")) {
+#define X(fld) rd.dbl(*costs, #fld, fc.fld);
+                JETTY_FILTER_COST_FIELDS(X)
+#undef X
+            }
+            if (!rd.ok())
+                break;
+            res.filterNames.push_back(std::move(name));
+            res.filterStats.push_back(fs);
+            res.filterCosts.push_back(fc);
+        }
+    }
+    if (const json::Value *traffic = rd.obj(v, "traffic"))
+        trafficFromJson(rd, *traffic, res.traffic);
+
+    if (!rd.ok())
+        return rd.err;
+    out = std::move(res);
+    return "";
+}
+
+} // namespace jetty::experiments

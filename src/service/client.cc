@@ -1,0 +1,56 @@
+#include "service/client.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "service/protocol.hh"
+
+namespace jetty::service
+{
+
+int
+connectWithRetry(const std::string &socketPath, double seconds,
+                 std::string *err)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(seconds);
+    for (;;) {
+        const int fd = connectUnix(socketPath, err);
+        if (fd >= 0)
+            return fd;
+        if (Clock::now() >= deadline)
+            return -1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+std::string
+requestResponse(const std::string &socketPath, const json::Value &request,
+                json::Value &response)
+{
+    std::string err;
+    const int fd = connectWithRetry(socketPath, 10.0, &err);
+    if (fd < 0)
+        return err;
+    if (!sendValue(fd, request, &err)) {
+        ::close(fd);
+        return err;
+    }
+    LineReader reader(fd);
+    std::string line;
+    const int got = reader.readLine(line, &err);
+    ::close(fd);
+    if (got < 0)
+        return err;
+    if (got == 0)
+        return "server closed the connection without answering";
+    response = json::parse(line, &err);
+    if (!err.empty())
+        return "response parse error: " + err;
+    return "";
+}
+
+} // namespace jetty::service

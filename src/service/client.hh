@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Client side of the experiment service (`jetty_cli submit`): connect
+ * to a serve daemon's unix socket, send one framed request, read one
+ * framed response.
+ */
+
+#ifndef JETTY_SERVICE_CLIENT_HH
+#define JETTY_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "util/json.hh"
+
+namespace jetty::service
+{
+
+/**
+ * Connect to @p socketPath, retrying for up to @p seconds (a just-
+ * launched daemon needs a moment to bind).
+ * @return the connected fd, or -1 with @p err set.
+ */
+int connectWithRetry(const std::string &socketPath, double seconds,
+                     std::string *err);
+
+/**
+ * One request/response round trip on a fresh connection.
+ * @return "" with @p response filled on success (the response may still
+ *         carry ok=false — a server-side failure is the caller's to
+ *         inspect); a transport failure otherwise.
+ */
+std::string requestResponse(const std::string &socketPath,
+                            const json::Value &request,
+                            json::Value &response);
+
+} // namespace jetty::service
+
+#endif // JETTY_SERVICE_CLIENT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The one spec-execution path shared by the CLI (`jetty_cli
+ * run/sweep/replay`) and the experiment service (`jetty_cli serve`).
+ *
+ * Both front ends hand a loaded ExperimentSpec to resolveSpec() (fill
+ * the verb's defaults, validate through the spec's own schema, check
+ * variant compatibility) and then executeResolved() (expand to
+ * RunRequests, answer them through the shared two-tier RunCache, build
+ * the api::Report tree). Because the report tree is built once, here, a
+ * report served over the wire is bit-identical to the file the direct
+ * CLI invocation would have written for the same spec.
+ *
+ * Everything reports failure as a returned string instead of fatal():
+ * the CLI turns it into its usual fatal() diagnostic, the server into
+ * an ok=false response — a malformed job must never take the daemon
+ * down.
+ */
+
+#ifndef JETTY_SERVICE_EXECUTOR_HH
+#define JETTY_SERVICE_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/experiment_spec.hh"
+#include "api/report.hh"
+#include "experiments/experiments.hh"
+#include "util/json.hh"
+
+namespace jetty::service
+{
+
+/** The paper's standard filter trio — the default filter set of
+ *  run/replay/bench/serve (single source of truth; the CLI and the
+ *  server must not drift apart). */
+const std::vector<std::string> &defaultFilterSpecs();
+
+/**
+ * The execution kind a bare spec asks for, decided by its shape (the
+ * service has no subcommand word): sweep axes or several apps -> sweep;
+ * trace files -> replay; otherwise run. Fuzz and bench sections are
+ * rejected (they need the dedicated local subcommands).
+ * @return "run" / "sweep" / "replay", or "" with @p err set.
+ */
+std::string chooseKind(const api::ExperimentSpec &spec, std::string *err);
+
+/**
+ * Resolve @p spec in place for @p kind ("run" / "sweep" / "replay"):
+ * fill the kind's defaults (workload, filters, scale, sweep axes,
+ * replay processor inference), reject sections the kind cannot honour,
+ * round-trip through the spec schema, and require a variant-compatible
+ * machine. Idempotent: resolving an already-resolved spec is a no-op,
+ * so a spec resolved by the CLI and re-resolved by the server stays
+ * byte-identical.
+ * @return "" on success, else the diagnostic.
+ */
+std::string resolveSpec(api::ExperimentSpec &spec, const std::string &kind);
+
+/** Everything one executed spec produced. */
+struct ExecuteResult
+{
+    std::string kind;
+    api::ExperimentSpec spec;  //!< as executed (resolved)
+
+    /** Canonical filter names, report column order. */
+    std::vector<std::string> filterNames;
+
+    /** The expanded requests and their answers, parallel vectors. */
+    std::vector<experiments::RunRequest> requests;
+    std::vector<experiments::AppRunResult> runs;
+
+    /** The full api::Report tree ("run"/"sweep"/"replay" schema). */
+    json::Value report;
+
+    /** RunCache counter deltas over this execution. */
+    std::uint64_t simulated = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t memHits = 0;
+
+    /** Wall clock of the runMany() call. */
+    double sweepSeconds = 0;
+};
+
+/**
+ * Execute a spec already resolved for @p kind through the shared
+ * RunCache, filling @p out.
+ * @param jobs SweepRunner worker override (0 = shared default pool).
+ * @return "" on success, else the diagnostic (@p out unspecified).
+ */
+std::string executeResolved(const api::ExperimentSpec &spec,
+                            const std::string &kind, unsigned jobs,
+                            ExecuteResult &out);
+
+/** chooseKind + resolveSpec + executeResolved in one step (the server's
+ *  whole job handler). */
+std::string executeSpec(api::ExperimentSpec spec, unsigned jobs,
+                        ExecuteResult &out);
+
+} // namespace jetty::service
+
+#endif // JETTY_SERVICE_EXECUTOR_HH

@@ -1,0 +1,189 @@
+#include "service/protocol.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace jetty::service
+{
+
+namespace
+{
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+/** Fill a sockaddr_un; unix socket paths are limited to ~107 bytes. */
+bool
+fillAddr(const std::string &path, sockaddr_un &addr, std::string *err)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long (" + std::to_string(path.size()) +
+                   " bytes, max " +
+                   std::to_string(sizeof(addr.sun_path) - 1) + "): " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = "socket: " + errnoString();
+        return -1;
+    }
+    // A previous daemon's socket file blocks bind(); it is only a
+    // rendezvous point, so replacing it is always right.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (err)
+            *err = "bind " + path + ": " + errnoString();
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        if (err)
+            *err = "listen " + path + ": " + errnoString();
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = "socket: " + errnoString();
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = "connect " + path + ": " + errnoString();
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendLine(int fd, const std::string &line, std::string *err)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        // MSG_NOSIGNAL: a client hanging up mid-response must surface
+        // as EPIPE here, not kill the daemon with SIGPIPE.
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "send: " + errnoString();
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendValue(int fd, const json::Value &v, std::string *err)
+{
+    return sendLine(fd, v.dumpCompact(), err);
+}
+
+int
+LineReader::readLine(std::string &line, std::string *err)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return 1;
+        }
+        if (buf_.size() > kMaxLineBytes) {
+            if (err)
+                *err = "line exceeds " + std::to_string(kMaxLineBytes) +
+                       " bytes";
+            return -1;
+        }
+        char chunk[64 * 1024];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "recv: " + errnoString();
+            return -1;
+        }
+        if (n == 0) {
+            if (buf_.empty())
+                return 0;
+            if (err)
+                *err = "connection closed mid-line";
+            return -1;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+json::Value
+makeRunRequest(json::Value spec)
+{
+    json::Value req = json::Value::object();
+    req.set("jetty_request", kProtocolVersion);
+    req.set("verb", "run");
+    req.set("spec", std::move(spec));
+    return req;
+}
+
+json::Value
+makeRequest(const std::string &verb)
+{
+    json::Value req = json::Value::object();
+    req.set("jetty_request", kProtocolVersion);
+    req.set("verb", verb);
+    return req;
+}
+
+json::Value
+makeErrorResponse(const std::string &error)
+{
+    json::Value resp = json::Value::object();
+    resp.set("jetty_response", kProtocolVersion);
+    resp.set("ok", false);
+    resp.set("error", error);
+    return resp;
+}
+
+} // namespace jetty::service

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Wire protocol of the experiment service (`jetty_cli serve`): unix
+ * stream sockets carrying newline-delimited compact JSON, one value per
+ * line in each direction.
+ *
+ * Request:  {"jetty_request": 1, "verb": "run|ping|stats|shutdown",
+ *            "spec": {...}}              (spec only for "run")
+ * Response: {"jetty_response": 1, "ok": true, ...}
+ *        or {"jetty_response": 1, "ok": false, "error": "..."}
+ *
+ * Values are framed with json::Value::dumpCompact() — no interior
+ * newlines, insertion order preserved — so parse(line) on the far side
+ * rebuilds the identical tree and a report relayed through the wire
+ * still dump()s to the exact bytes the producing process would have
+ * written (the serve/submit bit-identity contract).
+ *
+ * Versioning: kProtocolVersion is echoed in both directions; a server
+ * answering a request with a version it does not speak responds
+ * ok=false naming both versions. The payload spec/report carry their
+ * own schema versions (jetty_spec / jetty_report), so the protocol
+ * version only guards the framing.
+ */
+
+#ifndef JETTY_SERVICE_PROTOCOL_HH
+#define JETTY_SERVICE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hh"
+
+namespace jetty::service
+{
+
+constexpr std::uint64_t kProtocolVersion = 1;
+
+/** Upper bound on one framed line (a full sweep report is a few MB;
+ *  anything beyond this is a protocol error, not an allocation). */
+constexpr std::size_t kMaxLineBytes = 64ull << 20;
+
+/** Create, bind and listen on a unix stream socket at @p path,
+ *  replacing a stale socket file. @return the listening fd, or -1 with
+ *  @p err set. */
+int listenUnix(const std::string &path, std::string *err);
+
+/** Connect to the unix stream socket at @p path. @return the connected
+ *  fd, or -1 with @p err set. */
+int connectUnix(const std::string &path, std::string *err);
+
+/** Send @p line plus the terminating newline, handling short writes;
+ *  never raises SIGPIPE. @return false with @p err set on failure. */
+bool sendLine(int fd, const std::string &line, std::string *err);
+
+/** Frame @p v and send it. */
+bool sendValue(int fd, const json::Value &v, std::string *err);
+
+/** Incremental newline-delimited reader over one fd. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** Read one line (without the newline) into @p line.
+     *  @return 1 on a line, 0 on clean EOF, -1 with @p err set. */
+    int readLine(std::string &line, std::string *err);
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/** Build the envelope of a "run" request around @p spec. */
+json::Value makeRunRequest(json::Value spec);
+
+/** Build a verb-only request ("ping", "stats", "shutdown"). */
+json::Value makeRequest(const std::string &verb);
+
+/** Build the common failure response. */
+json::Value makeErrorResponse(const std::string &error);
+
+} // namespace jetty::service
+
+#endif // JETTY_SERVICE_PROTOCOL_HH

@@ -1,0 +1,183 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "api/experiment_spec.hh"
+#include "service/executor.hh"
+#include "service/protocol.hh"
+#include "util/logging.hh"
+
+namespace jetty::service
+{
+
+namespace
+{
+
+/** Answer one parsed request; never throws, never fatal()s on bad
+ *  input — the response carries the failure instead. */
+json::Value
+handleRequest(const json::Value &req, unsigned jobs, bool &shutdown)
+{
+    if (!req.isObject())
+        return makeErrorResponse("request is not a JSON object");
+    const json::Value *ver = req.find("jetty_request");
+    if (!ver || !ver->isNumber() || !ver->fitsU64())
+        return makeErrorResponse("missing jetty_request version");
+    if (ver->asU64() != kProtocolVersion) {
+        return makeErrorResponse(
+            "protocol version " + std::to_string(ver->asU64()) +
+            " not supported (this server speaks " +
+            std::to_string(kProtocolVersion) + ")");
+    }
+    const json::Value *verb = req.find("verb");
+    if (!verb || !verb->isString())
+        return makeErrorResponse("missing verb");
+
+    json::Value resp = json::Value::object();
+    resp.set("jetty_response", kProtocolVersion);
+
+    if (verb->asString() == "ping") {
+        resp.set("ok", true);
+        resp.set("pong", true);
+        return resp;
+    }
+    if (verb->asString() == "stats") {
+        auto &cache = experiments::RunCache::instance();
+        resp.set("ok", true);
+        resp.set("simulations", cache.simulations());
+        resp.set("hits", cache.hits());
+        resp.set("disk_hits", cache.diskHits());
+        resp.set("disk_root", cache.diskRoot());
+        return resp;
+    }
+    if (verb->asString() == "shutdown") {
+        shutdown = true;
+        resp.set("ok", true);
+        resp.set("stopping", true);
+        return resp;
+    }
+    if (verb->asString() != "run") {
+        return makeErrorResponse("unknown verb '" + verb->asString() +
+                                 "'");
+    }
+
+    const json::Value *specNode = req.find("spec");
+    if (!specNode)
+        return makeErrorResponse("run request carries no spec");
+    std::string err;
+    api::ExperimentSpec spec = api::ExperimentSpec::fromJson(*specNode,
+                                                            &err);
+    if (!err.empty())
+        return makeErrorResponse(err);
+
+    ExecuteResult result;
+    err = executeSpec(std::move(spec), jobs, result);
+    if (!err.empty())
+        return makeErrorResponse(err);
+
+    resp.set("ok", true);
+    resp.set("kind", result.kind);
+    resp.set("simulated", result.simulated);
+    resp.set("disk_hits", result.diskHits);
+    resp.set("mem_hits", result.memHits);
+    resp.set("report", std::move(result.report));
+    return resp;
+}
+
+} // namespace
+
+ExperimentServer::ExperimentServer(ServerConfig cfg) : cfg_(std::move(cfg))
+{
+}
+
+ExperimentServer::~ExperimentServer()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &t : workers_) {
+            if (t.joinable())
+                t.join();
+        }
+        workers_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(cfg_.socketPath.c_str());
+    }
+}
+
+std::string
+ExperimentServer::start()
+{
+    std::string err;
+    listenFd_ = listenUnix(cfg_.socketPath, &err);
+    return listenFd_ >= 0 ? "" : err;
+}
+
+void
+ExperimentServer::run()
+{
+    if (listenFd_ < 0)
+        panic("ExperimentServer::run() before a successful start()");
+    while (!stop_.load()) {
+        // A short poll timeout bounds how long a stop request (signal
+        // or shutdown verb) waits for the accept loop to notice.
+        struct pollfd pfd = {listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll failed; stopping");
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(mu_);
+        workers_.emplace_back(
+            [this, fd]() { serveClient(fd); });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+void
+ExperimentServer::serveClient(int fd)
+{
+    LineReader reader(fd);
+    std::string line;
+    std::string err;
+    for (;;) {
+        const int got = reader.readLine(line, &err);
+        if (got <= 0)
+            break;  // EOF or a framing error: the client is gone
+        json::Value req = json::parse(line, &err);
+        json::Value resp;
+        bool shutdown = false;
+        if (!err.empty())
+            resp = makeErrorResponse("request parse error: " + err);
+        else
+            resp = handleRequest(req, cfg_.jobs, shutdown);
+        if (!sendValue(fd, resp, &err))
+            break;
+        if (shutdown) {
+            requestStop();
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace jetty::service

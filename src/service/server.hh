@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The experiment service daemon behind `jetty_cli serve`: a unix-socket
+ * server answering ExperimentSpec jobs (service/protocol.hh framing)
+ * through the shared spec executor, so every client of one daemon
+ * shares one two-tier RunCache and one SweepRunner pool — N clients
+ * asking for overlapping sweeps simulate each distinct cell once.
+ *
+ * Concurrency model: one accept loop (poll with a short timeout so
+ * requestStop() is honoured promptly), one thread per connection, each
+ * connection serving any number of newline-delimited requests in order.
+ * runMany() is safe to call from many threads at once — concurrent
+ * jobs interleave on the shared cache exactly like the multi-threaded
+ * bench harness does.
+ *
+ * Verbs: "run" (execute a spec, stream the report back), "ping",
+ * "stats" (cache counters), "shutdown" (acknowledge, then stop the
+ * daemon). Any malformed request gets ok=false; nothing a client sends
+ * can take the daemon down.
+ */
+
+#ifndef JETTY_SERVICE_SERVER_HH
+#define JETTY_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jetty::service
+{
+
+struct ServerConfig
+{
+    std::string socketPath = "jetty.sock";
+    unsigned jobs = 0;  //!< SweepRunner override (0 = shared default)
+};
+
+class ExperimentServer
+{
+  public:
+    explicit ExperimentServer(ServerConfig cfg);
+    ~ExperimentServer();
+
+    ExperimentServer(const ExperimentServer &) = delete;
+    ExperimentServer &operator=(const ExperimentServer &) = delete;
+
+    /** Bind and listen. @return "" on success, else the diagnostic. */
+    std::string start();
+
+    /** Serve until requestStop(); joins every connection thread and
+     *  removes the socket file before returning. */
+    void run();
+
+    /** Ask run() to wind down (safe from any thread or a signal
+     *  handler — only an atomic store). */
+    void requestStop() { stop_.store(true); }
+
+    const std::string &socketPath() const { return cfg_.socketPath; }
+
+  private:
+    void serveClient(int fd);
+
+    ServerConfig cfg_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::mutex mu_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace jetty::service
+
+#endif // JETTY_SERVICE_SERVER_HH

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace jetty::trace
@@ -151,9 +152,10 @@ TraceFileWriter::TraceFileWriter(const std::string &path, unsigned streams)
 {
     if (streams == 0)
         fatal("TraceFileWriter: need at least one stream section");
-    f_ = std::fopen(path.c_str(), "wb");
-    if (!f_)
-        fatal("TraceFileWriter: cannot open '" + path + "'");
+    out_ = std::make_unique<util::AtomicFile>(path);
+    if (!out_->error().empty())
+        fatal("TraceFileWriter: " + out_->error());
+    f_ = out_->stream();
     if (std::fwrite(kMagicV2, 1, 8, f_) != 8)
         fatal("TraceFileWriter: header write failed for '" + path + "'");
     writeLe32(f_, streams, "stream count");
@@ -170,8 +172,10 @@ TraceFileWriter::~TraceFileWriter()
         return;
     if (current_ == counts_.size()) {
         close();
-    } else if (f_) {
-        std::fclose(f_);  // incomplete capture: leave the zeroed header
+    } else if (out_) {
+        // Incomplete capture: discard the temp file — nothing appears
+        // at the final path.
+        out_->abort();
         f_ = nullptr;
     }
 }
@@ -229,7 +233,9 @@ TraceFileWriter::close()
         fatal("TraceFileWriter: cannot seek to patch counts");
     for (const auto count : counts_)
         writeLe64(f_, count, "count");
-    std::fclose(f_);
+    const std::string why = out_->commit();
+    if (!why.empty())
+        fatal("TraceFileWriter: " + why);
     f_ = nullptr;
     closed_ = true;
 }
@@ -248,14 +254,13 @@ void
 writeTraceFileV1(const std::string &path,
                  const std::vector<TraceRecord> &records)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("writeTraceFile: cannot open '" + path + "'");
+    util::AtomicFile out(path);
+    if (!out.error().empty())
+        fatal("writeTraceFile: " + out.error());
+    std::FILE *f = out.stream();
 
-    if (std::fwrite(kMagicV1, 1, 8, f) != 8) {
-        std::fclose(f);
+    if (std::fwrite(kMagicV1, 1, 8, f) != 8)
         fatal("writeTraceFile: header write failed");
-    }
     writeLe32(f, static_cast<std::uint32_t>(records.size()), "count");
     writeLe32(f, 0, "reserved field");
 
@@ -264,11 +269,12 @@ writeTraceFileV1(const std::string &path,
         encodeTraceRecord(r, rec);
         if (std::fwrite(rec, 1, kTraceRecordBytes, f) !=
             kTraceRecordBytes) {
-            std::fclose(f);
             fatal("writeTraceFile: record write failed");
         }
     }
-    std::fclose(f);
+    const std::string why = out.commit();
+    if (!why.empty())
+        fatal("writeTraceFile: " + why);
 }
 
 // ---- Readers ----------------------------------------------------------

@@ -27,10 +27,16 @@
 #define JETTY_TRACE_TRACE_FILE_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "trace/trace_source.hh"
+
+namespace jetty::util
+{
+class AtomicFile;
+}
 
 namespace jetty::trace
 {
@@ -96,12 +102,19 @@ TraceFileInfo readTraceFileInfo(const std::string &path);
  * order call append() any number of times followed by endStream(); close()
  * patches the header's record counts. Section s of an nprocs-section
  * capture is processor s's stream.
+ *
+ * Publication is atomic (util/atomic_file.hh): the bytes accumulate in
+ * a temp file beside @p path and close() renames it into place, so a
+ * writer killed mid-capture — or a capture abandoned before every
+ * section ended — leaves *nothing* at the final path, never a
+ * truncated or zero-count file a replay could mistake for a capture.
  */
 class TraceFileWriter
 {
   public:
-    /** Open @p path and write a JTTRACE2 header for @p streams sections.
-     *  Calls fatal() on I/O errors (as do all members). */
+    /** Open a temp file beside @p path and write a JTTRACE2 header for
+     *  @p streams sections. Calls fatal() on I/O errors (as do all
+     *  members). */
     TraceFileWriter(const std::string &path, unsigned streams);
     ~TraceFileWriter();
 
@@ -115,9 +128,11 @@ class TraceFileWriter
     /** Finish the current section and move to the next. */
     void endStream();
 
-    /** Patch the header with the final counts and close the file. Every
-     *  section must have been ended. Implied by the destructor only when
-     *  all sections are complete. */
+    /** Patch the header with the final counts and atomically publish
+     *  the file at its final path. Every section must have been ended.
+     *  Implied by the destructor only when all sections are complete;
+     *  an incomplete writer's destructor discards the temp file
+     *  instead. */
     void close();
 
     /** Records written so far across all sections. */
@@ -125,6 +140,7 @@ class TraceFileWriter
 
   private:
     std::string path_;
+    std::unique_ptr<util::AtomicFile> out_;
     std::FILE *f_ = nullptr;
     std::vector<std::uint64_t> counts_;
     unsigned current_ = 0;

@@ -1,0 +1,141 @@
+#include "util/atomic_file.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace jetty::util
+{
+
+namespace
+{
+
+bool (*g_commitFailureHook)(const std::string &) = nullptr;
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+void
+setAtomicCommitFailureHook(bool (*hook)(const std::string &))
+{
+    g_commitFailureHook = hook;
+}
+
+AtomicFile::AtomicFile(const std::string &path) : path_(path)
+{
+    // mkstemp in the same directory: rename(2) is atomic only within a
+    // filesystem, and the temp name keeps concurrent publishers of the
+    // same final path from trampling each other's bytes.
+    std::string templ = path + ".tmpXXXXXX";
+    std::string buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const int fd = ::mkstemp(buf.data());
+    if (fd < 0) {
+        err_ = "cannot create temp file beside '" + path +
+               "': " + errnoText();
+        return;
+    }
+    temp_.assign(buf.data());
+    // mkstemp creates 0600; published artifacts follow the usual rules.
+    ::fchmod(fd, 0644);
+    f_ = ::fdopen(fd, "wb+");
+    if (!f_) {
+        err_ = "cannot open temp file '" + temp_ + "': " + errnoText();
+        ::close(fd);
+        ::unlink(temp_.c_str());
+        temp_.clear();
+    }
+}
+
+AtomicFile::~AtomicFile()
+{
+    abort();
+}
+
+std::string
+AtomicFile::commit()
+{
+    if (committed_)
+        return "";
+    if (!err_.empty() || !f_) {
+        const std::string why =
+            err_.empty() ? "commit without an open temp file" : err_;
+        abort();
+        return why;
+    }
+    std::string why;
+    if (g_commitFailureHook && g_commitFailureHook(path_)) {
+        why = "write to '" + path_ +
+              "' failed: simulated I/O failure (injected short write)";
+    } else if (std::fflush(f_) != 0 || std::ferror(f_) != 0) {
+        why = "write to '" + path_ + "' failed: " + errnoText();
+    } else if (::fsync(::fileno(f_)) != 0) {
+        why = "fsync of '" + temp_ + "' failed: " + errnoText();
+    }
+    if (why.empty()) {
+        std::FILE *f = f_;
+        f_ = nullptr;
+        if (std::fclose(f) != 0)
+            why = "close of '" + temp_ + "' failed: " + errnoText();
+        else if (::rename(temp_.c_str(), path_.c_str()) != 0)
+            why = "rename '" + temp_ + "' -> '" + path_ +
+                  "' failed: " + errnoText();
+    }
+    if (!why.empty()) {
+        err_ = why;
+        abort();
+        return why;
+    }
+    temp_.clear();
+    committed_ = true;
+    return "";
+}
+
+void
+AtomicFile::abort()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+    if (!committed_ && !temp_.empty())
+        ::unlink(temp_.c_str());
+    temp_.clear();
+}
+
+std::string
+writeFileAtomicErr(const std::string &path, const std::string &bytes)
+{
+    AtomicFile out(path);
+    if (!out.error().empty())
+        return out.error();
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), out.stream()) !=
+            bytes.size()) {
+        const std::string why =
+            "write to '" + path + "' failed: short write";
+        out.abort();
+        return why;
+    }
+    return out.commit();
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string why = writeFileAtomicErr(path, bytes);
+    if (!why.empty())
+        fatal(why);
+}
+
+} // namespace jetty::util

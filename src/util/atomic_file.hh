@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Atomic file publication: every file the system emits for someone else
+ * to read (trace captures, fuzz-repro sidecars, Reports, disk-cache
+ * entries) must either appear complete at its final path or not appear
+ * at all. The pre-existing writers fopen()'d the final path directly, so
+ * a crash or a full disk left a truncated file exactly where a reader
+ * (or the persistent RunCache) expected a valid one.
+ *
+ * The protocol is the classic one: write to a temp file in the *same
+ * directory* (rename(2) is only atomic within a filesystem), check every
+ * write, fsync, then rename onto the final path. An uncommitted
+ * AtomicFile unlinks its temp file on destruction, so an abandoned or
+ * crashed publication leaves nothing behind at the final path.
+ */
+
+#ifndef JETTY_UTIL_ATOMIC_FILE_HH
+#define JETTY_UTIL_ATOMIC_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+namespace jetty::util
+{
+
+/**
+ * A file being published atomically: stream() is an ordinary FILE* onto
+ * a temp file beside @p path (seekable, so header-patching writers work
+ * unchanged); commit() fsyncs and renames it onto @p path.
+ *
+ * Never calls fatal(): every failure is reported through error() /
+ * commit()'s return value so best-effort writers (the disk cache) can
+ * treat I/O failure as a non-event. Writers with a fatal() contract
+ * check and escalate themselves.
+ */
+class AtomicFile
+{
+  public:
+    /** Open a temp file next to @p path. On failure stream() is null
+     *  and error() describes why. */
+    explicit AtomicFile(const std::string &path);
+
+    /** Unlinks the temp file unless commit() succeeded. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** The writable temp stream (null after open failure / commit). */
+    std::FILE *stream() { return f_; }
+
+    /** Final destination path. */
+    const std::string &path() const { return path_; }
+
+    /** Temp path the bytes are accumulating in ("" on open failure). */
+    const std::string &tempPath() const { return temp_; }
+
+    /** First error observed so far ("" when healthy). */
+    const std::string &error() const { return err_; }
+
+    /**
+     * Flush, fsync and rename the temp file onto the final path.
+     * @return "" on success; otherwise a description of the failure,
+     *         after which the temp file has been removed and nothing
+     *         exists (or pre-existing content survives) at the final
+     *         path. Honors the fault-injection hook below.
+     */
+    std::string commit();
+
+    /** Drop the temp file without publishing (idempotent). */
+    void abort();
+
+  private:
+    std::string path_;
+    std::string temp_;
+    std::string err_;
+    std::FILE *f_ = nullptr;
+    bool committed_ = false;
+};
+
+/** Write @p bytes to @p path atomically; fatal() on failure. */
+void writeFileAtomic(const std::string &path, const std::string &bytes);
+
+/** Write @p bytes to @p path atomically.
+ *  @return "" on success, else the failure description; the final path
+ *          is untouched on failure (never a torn file). */
+std::string writeFileAtomicErr(const std::string &path,
+                               const std::string &bytes);
+
+/**
+ * Test seam: simulate an I/O failure (ENOSPC, short write) at commit
+ * time. When set, a commit whose final path the hook returns true for
+ * fails as if the flush had run out of disk, after removing its temp
+ * file. Pass nullptr to clear. Not thread-safe against concurrent
+ * commits — a test-only knob.
+ */
+void setAtomicCommitFailureHook(bool (*hook)(const std::string &path));
+
+} // namespace jetty::util
+
+#endif // JETTY_UTIL_ATOMIC_FILE_HH

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <limits>
 
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace jetty::json
@@ -292,7 +293,8 @@ formatDouble(double v)
 }
 
 void
-Value::write(std::string &out, int indent, bool canonical) const
+Value::write(std::string &out, int indent, bool compact,
+             bool sortKeys) const
 {
     const auto pad = [&out](int depth) {
         out.append(static_cast<std::size_t>(depth) * 2, ' ');
@@ -327,13 +329,13 @@ Value::write(std::string &out, int indent, bool canonical) const
         for (std::size_t i = 0; i < items_.size(); ++i) {
             if (i)
                 out += ',';
-            if (!canonical) {
+            if (!compact) {
                 out += '\n';
                 pad(indent + 1);
             }
-            items_[i].write(out, indent + 1, canonical);
+            items_[i].write(out, indent + 1, compact, sortKeys);
         }
-        if (!canonical) {
+        if (!compact) {
             out += '\n';
             pad(indent);
         }
@@ -348,7 +350,7 @@ Value::write(std::string &out, int indent, bool canonical) const
         order.reserve(members_.size());
         for (const auto &m : members_)
             order.push_back(&m);
-        if (canonical) {
+        if (sortKeys) {
             std::sort(order.begin(), order.end(),
                       [](const Member *a, const Member *b) {
                           return a->first < b->first;
@@ -358,16 +360,16 @@ Value::write(std::string &out, int indent, bool canonical) const
         for (std::size_t i = 0; i < order.size(); ++i) {
             if (i)
                 out += ',';
-            if (!canonical) {
+            if (!compact) {
                 out += '\n';
                 pad(indent + 1);
             }
             out += '"';
             out += escape(order[i]->first);
-            out += canonical ? "\":" : "\": ";
-            order[i]->second.write(out, indent + 1, canonical);
+            out += compact ? "\":" : "\": ";
+            order[i]->second.write(out, indent + 1, compact, sortKeys);
         }
-        if (!canonical) {
+        if (!compact) {
             out += '\n';
             pad(indent);
         }
@@ -381,7 +383,7 @@ std::string
 Value::dump() const
 {
     std::string out;
-    write(out, 0, false);
+    write(out, 0, false, false);
     out += '\n';
     return out;
 }
@@ -390,7 +392,15 @@ std::string
 Value::dumpCanonical() const
 {
     std::string out;
-    write(out, 0, true);
+    write(out, 0, true, true);
+    return out;
+}
+
+std::string
+Value::dumpCompact() const
+{
+    std::string out;
+    write(out, 0, true, false);
     return out;
 }
 
@@ -780,15 +790,15 @@ parseFile(const std::string &path, std::string *err)
 void
 writeFile(const std::string &path, const Value &v)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("json: cannot open '" + path + "' for writing");
-    const std::string text = v.dump();
-    const bool ok =
-        std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    const bool write_error = std::ferror(f) != 0;
-    if (std::fclose(f) != 0 || !ok || write_error)
-        fatal("json: write to '" + path + "' failed");
+    const std::string why = writeFileErr(path, v);
+    if (!why.empty())
+        fatal("json: " + why);
+}
+
+std::string
+writeFileErr(const std::string &path, const Value &v)
+{
+    return util::writeFileAtomicErr(path, v.dump());
 }
 
 } // namespace jetty::json

@@ -113,10 +113,19 @@ class Value
      *  RunCache key property. */
     std::string dumpCanonical() const;
 
+    /** Compact emission: no whitespace, no trailing newline, but keys
+     *  in *insertion order* (unlike dumpCanonical). One value per line
+     *  — the newline-delimited serve wire framing; parse(dumpCompact())
+     *  rebuilds the identical tree, so a report relayed through the
+     *  wire still dump()s to the exact bytes the producer would have
+     *  written. */
+    std::string dumpCompact() const;
+
   private:
     explicit Value(Type t) : type_(t) {}
 
-    void write(std::string &out, int indent, bool canonical) const;
+    void write(std::string &out, int indent, bool compact,
+               bool sortKeys) const;
 
     Type type_;
     bool bool_ = false;
@@ -146,8 +155,15 @@ Value parse(const std::string &text, std::string *err);
  *  success); the file-not-found case is reported there too. */
 Value parseFile(const std::string &path, std::string *err);
 
-/** Write @p v (pretty) to @p path; fatal() on I/O failure. */
+/** Write @p v (pretty) to @p path atomically (util/atomic_file.hh:
+ *  temp-file + fsync + rename, so a crash or full disk never leaves a
+ *  torn document at @p path); fatal() on I/O failure. */
 void writeFile(const std::string &path, const Value &v);
+
+/** As writeFile(), but returns the failure description ("" on success)
+ *  instead of fatal()ing — for best-effort writers like the disk
+ *  cache. */
+std::string writeFileErr(const std::string &path, const Value &v);
 
 } // namespace jetty::json
 

@@ -93,6 +93,20 @@ class Histogram
         ++total_;
     }
 
+    /** Rebuild a histogram from serialized raw counts (the persistent
+     *  RunCache restoring an AppRunResult from disk). @p total is kept
+     *  as recorded rather than recomputed: clamped samples mean the
+     *  bucket sum equals total anyway, and a restore must be exact. */
+    static Histogram
+    fromRaw(std::vector<std::uint64_t> counts, std::uint64_t total)
+    {
+        Histogram h(std::max<std::size_t>(counts.size(), 1));
+        if (!counts.empty())
+            h.counts_ = std::move(counts);
+        h.total_ = total;
+        return h;
+    }
+
     /** Number of buckets. */
     std::size_t buckets() const { return counts_.size(); }
 

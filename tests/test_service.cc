@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the experiment service: the shared spec executor
+ * (chooseKind/resolveSpec/executeResolved) and a real unix-socket
+ * round trip through ExperimentServer — the served report must be
+ * byte-identical to what the direct executor produces for the same
+ * spec, and no malformed request may take the daemon down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "api/experiment_spec.hh"
+#include "experiments/experiments.hh"
+#include "service/client.hh"
+#include "service/executor.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "util/json.hh"
+
+using namespace jetty;
+
+namespace
+{
+
+/** A tiny single-app run spec (cheap enough for a unit test). */
+api::ExperimentSpec
+tinyRunSpec()
+{
+    std::string err;
+    api::ExperimentSpec spec = api::ExperimentSpec::parse(
+        R"({"jetty_spec": 1,
+            "machine": {"procs": 4, "buses": 1, "subblocked": true},
+            "workload": {"apps": ["lu"], "scale": 0.01},
+            "filters": ["EJ-16x2"]})",
+        &err);
+    if (!err.empty())
+        ADD_FAILURE() << err;
+    return spec;
+}
+
+} // namespace
+
+TEST(SpecExecutor, ChoosesKindFromSpecShape)
+{
+    std::string err;
+    api::ExperimentSpec spec = tinyRunSpec();
+    EXPECT_EQ(service::chooseKind(spec, &err), "run");
+
+    spec.apps = {"lu", "ff"};
+    EXPECT_EQ(service::chooseKind(spec, &err), "sweep");
+
+    spec = tinyRunSpec();
+    spec.sweepProcs = {4, 8};
+    EXPECT_EQ(service::chooseKind(spec, &err), "sweep");
+
+    spec = tinyRunSpec();
+    spec.apps.clear();
+    spec.traceFiles = {"whatever.jtt"};
+    EXPECT_EQ(service::chooseKind(spec, &err), "replay");
+
+    spec = tinyRunSpec();
+    spec.benchRepeat = 3;
+    EXPECT_EQ(service::chooseKind(spec, &err), "");
+    EXPECT_NE(err, "");
+
+    spec = tinyRunSpec();
+    spec.hasFuzz = true;
+    EXPECT_EQ(service::chooseKind(spec, &err), "");
+    EXPECT_NE(err, "");
+}
+
+TEST(SpecExecutor, ResolveIsIdempotent)
+{
+    api::ExperimentSpec spec = tinyRunSpec();
+    ASSERT_EQ(service::resolveSpec(spec, "run"), "");
+    const std::string once = spec.emit();
+    ASSERT_EQ(service::resolveSpec(spec, "run"), "");
+    EXPECT_EQ(spec.emit(), once);
+}
+
+TEST(SpecExecutor, ExecuteFailsSoftlyOnBadSpecs)
+{
+    service::ExecuteResult result;
+    api::ExperimentSpec missing = tinyRunSpec();
+    missing.apps = {"no-such-app"};
+    EXPECT_NE(service::executeSpec(missing, 0, result), "");
+
+    api::ExperimentSpec ghost = tinyRunSpec();
+    ghost.apps.clear();
+    ghost.traceFiles = {"/nonexistent/capture.jtt"};
+    EXPECT_NE(service::executeSpec(ghost, 0, result), "");
+}
+
+TEST(ExperimentService, ServedReportIsByteIdenticalToDirectExecution)
+{
+    experiments::RunCache::instance().clear();
+
+    // Direct execution, same resolved spec the server will see.
+    service::ExecuteResult direct;
+    ASSERT_EQ(service::executeSpec(tinyRunSpec(), 0, direct), "");
+
+    const std::string socket =
+        ::testing::TempDir() + "jetty_test_service.sock";
+    service::ServerConfig cfg;
+    cfg.socketPath = socket;
+    service::ExperimentServer server(cfg);
+    ASSERT_EQ(server.start(), "");
+    std::thread serverThread([&server]() { server.run(); });
+
+    json::Value resp;
+    std::string err = service::requestResponse(
+        socket, service::makeRunRequest(tinyRunSpec().toJson()), resp);
+    ASSERT_EQ(err, "");
+    const json::Value *ok = resp.find("ok");
+    ASSERT_TRUE(ok && ok->isBool() && ok->asBool())
+        << resp.dumpCompact();
+
+    const json::Value *report = resp.find("report");
+    ASSERT_TRUE(report != nullptr);
+    EXPECT_EQ(report->dump(), direct.report.dump());
+
+    // Same cell again: answered from the shared cache, still identical.
+    json::Value resp2;
+    ASSERT_EQ(service::requestResponse(
+                  socket, service::makeRunRequest(tinyRunSpec().toJson()),
+                  resp2),
+              "");
+    const json::Value *sim2 = resp2.find("simulated");
+    ASSERT_TRUE(sim2 && sim2->isNumber());
+    EXPECT_EQ(sim2->asU64(), 0u);
+    const json::Value *report2 = resp2.find("report");
+    ASSERT_TRUE(report2 != nullptr);
+    EXPECT_EQ(report2->dump(), direct.report.dump());
+
+    // ping, stats, a malformed line, and an unknown verb — the daemon
+    // answers each and keeps serving.
+    json::Value pong;
+    ASSERT_EQ(service::requestResponse(socket, service::makeRequest("ping"),
+                                       pong),
+              "");
+    const json::Value *p = pong.find("pong");
+    EXPECT_TRUE(p && p->isBool() && p->asBool());
+
+    json::Value stats;
+    ASSERT_EQ(service::requestResponse(socket,
+                                       service::makeRequest("stats"),
+                                       stats),
+              "");
+    EXPECT_TRUE(stats.find("simulations") != nullptr);
+
+    {
+        int fd = service::connectUnix(socket, &err);
+        ASSERT_GE(fd, 0) << err;
+        ASSERT_TRUE(service::sendLine(fd, "this is not json", &err));
+        service::LineReader reader(fd);
+        std::string line;
+        ASSERT_EQ(reader.readLine(line, &err), 1);
+        json::Value v = json::parse(line, &err);
+        ASSERT_EQ(err, "");
+        const json::Value *bad = v.find("ok");
+        ASSERT_TRUE(bad && bad->isBool());
+        EXPECT_FALSE(bad->asBool());
+        ::close(fd);
+    }
+
+    json::Value unknown;
+    ASSERT_EQ(service::requestResponse(socket,
+                                       service::makeRequest("dance"),
+                                       unknown),
+              "");
+    const json::Value *uok = unknown.find("ok");
+    ASSERT_TRUE(uok && uok->isBool());
+    EXPECT_FALSE(uok->asBool());
+
+    // Shutdown verb stops the daemon; run() returns and joins.
+    json::Value bye;
+    ASSERT_EQ(service::requestResponse(socket,
+                                       service::makeRequest("shutdown"),
+                                       bye),
+              "");
+    serverThread.join();
+    experiments::RunCache::instance().clear();
+}

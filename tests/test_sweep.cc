@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <cmath>
 #include <cstdio>
 
@@ -427,6 +430,98 @@ TEST(RunCacheTest, FileBackedWorkloadsKeyByContentDigest)
     std::remove(a.c_str());
     std::remove(b.c_str());
     std::remove(c.c_str());
+}
+
+namespace
+{
+
+/** Two distinct same-length captures (fixed 8-byte records, equal
+ *  counts — rewriting one over the other keeps the file size). */
+void
+makeDigestFixtures(std::vector<trace::TraceRecord> &recsA,
+                   std::vector<trace::TraceRecord> &recsB)
+{
+    const trace::Workload workload(trace::appByName("ff"), 2, 0.01);
+    auto src = workload.makeSource(0);
+    recsA = trace::collect(*src, 4096);
+    recsB = recsA;
+    recsB[0].addr ^= 0x40;
+}
+
+} // namespace
+
+TEST(TraceDigestMemo, RewriteDuringHashIsNotMemoized)
+{
+    // Regression for the memo's stat-then-hash race: the stamp used to
+    // be captured before hashing, so a file rewritten between the stat
+    // and the hash memoized the NEW content's digest under the OLD
+    // content's stamp. Restoring the old content (same size, timestamps
+    // put back with utimensat) then answered the wrong digest forever.
+    experiments::invalidateTraceDigestMemo();
+    const std::string path = ::testing::TempDir() + "jetty_toctou.jtt";
+    std::vector<trace::TraceRecord> recsA, recsB;
+    makeDigestFixtures(recsA, recsB);
+
+    trace::writeTraceFile(path, recsB);
+    const std::uint64_t digestB = trace::traceFileDigest(path);
+    trace::writeTraceFile(path, recsA);
+    const std::uint64_t digestA = trace::traceFileDigest(path);
+    ASSERT_NE(digestA, digestB);
+    struct stat original = {};
+    ASSERT_EQ(::stat(path.c_str(), &original), 0);
+
+    // One-shot hook: rewrite the file after the pre-hash stat.
+    bool fired = false;
+    experiments::setTraceDigestPreHashHook(
+        [&](const std::string &p) {
+            if (fired)
+                return;
+            fired = true;
+            trace::writeTraceFile(p, recsB);
+        });
+    EXPECT_EQ(experiments::traceFileDigestCached(path), digestB);
+    EXPECT_TRUE(fired);
+    experiments::setTraceDigestPreHashHook(nullptr);
+
+    // Put content A back under its original stamp. A buggy memo holds
+    // (stampA -> digestB) and hits; the fixed one re-hashes.
+    trace::writeTraceFile(path, recsA);
+    struct timespec times[2] = {original.st_atim, original.st_mtim};
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+    EXPECT_EQ(experiments::traceFileDigestCached(path), digestA);
+
+    std::remove(path.c_str());
+    experiments::invalidateTraceDigestMemo();
+}
+
+TEST(TraceDigestMemo, RunCacheClearInvalidatesTheMemo)
+{
+    // The memo keys on (size, mtime); a same-size rewrite that restores
+    // the timestamps is invisible to it by construction. clear() is the
+    // seam that drops the memo along with the cached results.
+    experiments::invalidateTraceDigestMemo();
+    const std::string path = ::testing::TempDir() + "jetty_memo_clear.jtt";
+    std::vector<trace::TraceRecord> recsA, recsB;
+    makeDigestFixtures(recsA, recsB);
+
+    trace::writeTraceFile(path, recsA);
+    struct stat original = {};
+    ASSERT_EQ(::stat(path.c_str(), &original), 0);
+    const std::uint64_t digestA = experiments::traceFileDigestCached(path);
+
+    trace::writeTraceFile(path, recsB);
+    struct timespec times[2] = {original.st_atim, original.st_mtim};
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+    // Same stamp: the memo (documented) still answers the old digest.
+    EXPECT_EQ(experiments::traceFileDigestCached(path), digestA);
+
+    RunCache::instance().clear();
+    const std::uint64_t digestB = experiments::traceFileDigestCached(path);
+    EXPECT_NE(digestB, digestA);
+    EXPECT_EQ(digestB, trace::traceFileDigest(path));
+
+    std::remove(path.c_str());
+    experiments::invalidateTraceDigestMemo();
 }
 
 TEST(RunCacheTest, StatsBlockSizedFromVariant)

@@ -40,6 +40,19 @@
  *                     (per-processor files, one multi-section capture,
  *                     or one single-section file cloned everywhere;
  *                     streamed and cached by content digest)
+ *   jetty_cli serve   [--socket PATH] [--jobs N] [--cache-dir DIR]
+ *                     [--cache-bytes N]
+ *                     (experiment service daemon: accepts ExperimentSpec
+ *                     jobs over a unix socket, answers them through the
+ *                     shared two-tier RunCache and SweepRunner pool,
+ *                     streams structured Reports back; many concurrent
+ *                     clients share one cache)
+ *   jetty_cli submit  SPEC.json [--socket PATH] [--json FILE]
+ *   jetty_cli submit  --shutdown [--socket PATH]
+ *                     (send one spec to a serve daemon and print its
+ *                     cache counters; --json writes the streamed Report
+ *                     — bit-identical to what the direct subcommand
+ *                     would have written)
  *   jetty_cli bench   [--spec FILE] [--app NAME | --in FILE[,FILE...]]
  *                     [--procs N] [--buses N] [--scale F]
  *                     [--filters SPEC[,...]] [--batch N] [--repeat K]
@@ -64,7 +77,9 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -80,6 +95,10 @@
 #include "core/filter_registry.hh"
 #include "core/filter_spec.hh"
 #include "experiments/experiments.hh"
+#include "service/client.hh"
+#include "service/executor.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
 #include "sim/latency.hh"
 #include "sim/sweep.hh"
 #include "trace/apps.hh"
@@ -95,9 +114,10 @@ using namespace jetty;
 namespace
 {
 
-/** The paper's standard filter trio (run/replay/bench default). */
-const std::vector<std::string> kDefaultFilters = {
-    "EJ-32x4", "IJ-10x4x7", "HJ(IJ-10x4x7,EJ-32x4)"};
+/** The paper's standard filter trio (run/replay/bench default) — owned
+ *  by the service layer so the CLI and the serve daemon cannot drift. */
+const std::vector<std::string> &kDefaultFilters =
+    service::defaultFilterSpecs();
 
 /** Parse "--key value" style options into a map. */
 std::map<std::string, std::string>
@@ -109,7 +129,8 @@ parseOptions(int argc, char **argv, int first)
         if (!startsWith(key, "--"))
             fatal("expected an option, got '" + key + "'");
         key = key.substr(2);
-        if (key == "no-subblock" || key == "smoke" || key == "dump-spec") {
+        if (key == "no-subblock" || key == "smoke" || key == "dump-spec" ||
+            key == "shutdown") {
             opts[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -301,15 +322,41 @@ dumpSpecRequested(const std::map<std::string, std::string> &opts,
     return true;
 }
 
-/** run/sweep go through the experiment layer, which only models paper
- *  variants; reject explicit-geometry specs with the field that cannot
- *  be honoured. */
+/**
+ * Attach the persistent RunCache tier for the caching subcommands
+ * (run/sweep/replay/serve — never bench or fuzz, whose timings and
+ * campaigns must be fresh). Precedence: --cache-dir flag, then the
+ * JETTY_CACHE_DIR environment variable (already honoured by the
+ * RunCache constructor), then the default user cache directory. A value
+ * of "off" (flag or env) disables the tier.
+ */
 void
-requireVariantMachine(const api::ExperimentSpec &spec)
+enableDiskCache(const std::map<std::string, std::string> &opts)
 {
-    std::string why;
-    if (!spec.machine.variantCompatible(&why))
-        fatal(why);
+    auto &cache = experiments::RunCache::instance();
+    if (opts.count("cache-bytes")) {
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(opts.at("cache-bytes").c_str(), &end, 10);
+        if (end == opts.at("cache-bytes").c_str() || *end != '\0' ||
+            v == 0)
+            fatal("--cache-bytes needs a positive byte count, got '" +
+                  opts.at("cache-bytes") + "'");
+        cache.setDiskBudget(v);
+    }
+    if (opts.count("cache-dir")) {
+        cache.setDiskRoot(opts.at("cache-dir"));
+        return;
+    }
+    if (std::getenv("JETTY_CACHE_DIR"))
+        return;
+    std::string root;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        root = std::string(xdg) + "/jetty";
+    else if (const char *home = std::getenv("HOME"); home && *home)
+        root = std::string(home) + "/.cache/jetty";
+    if (!root.empty())
+        cache.setDiskRoot(root);
 }
 
 void
@@ -354,32 +401,25 @@ cmdRun(const std::map<std::string, std::string> &opts)
 {
     api::ExperimentSpec spec = specFromOpts(opts);
     overlayCommonFlags(opts, spec);
-    if (spec.apps.empty())
-        spec.apps = {"lu"};
-    if (spec.apps.size() > 1) {
-        fatal("run simulates one application (the spec names " +
-              std::to_string(spec.apps.size()) + ") — use sweep");
-    }
-    if (!spec.traceFiles.empty())
-        fatal("run synthesizes from an application profile; use replay "
-              "or bench for trace_files specs");
-    rejectSweepAxes(spec, "run");
-    rejectForeignSections(spec, "run", /*allowBench=*/false);
-    resolveCommonDefaults(spec, 0.25);
-    validateResolved(spec);
-    requireVariantMachine(spec);
+    // Resolution and execution are the service executor's (shared with
+    // `serve`, so a served spec resolves and reports exactly as the
+    // direct subcommand would); the CLI turns its diagnostics back into
+    // the usual fatal() exits.
+    std::string err = service::resolveSpec(spec, "run");
+    if (!err.empty())
+        fatal(err);
     if (dumpSpecRequested(opts, spec))
         return 0;
 
-    const experiments::SystemVariant variant = spec.machine.toVariant();
-    // The report looks runs up by canonical name; normalize the input.
-    std::vector<std::string> specs = spec.filters;
-    for (auto &s : specs)
-        s = filter::canonicalFilterName(s,
-                                        variant.smpConfig().addressMap());
+    enableDiskCache(opts);
+    service::ExecuteResult result;
+    err = service::executeResolved(spec, "run", 0, result);
+    if (!err.empty())
+        fatal(err);
 
-    const auto run = experiments::runApp(trace::appByName(spec.apps[0]),
-                                         variant, specs, spec.scale);
+    const experiments::SystemVariant variant = spec.machine.toVariant();
+    const std::vector<std::string> &specs = result.filterNames;
+    const experiments::AppRunResult &run = result.runs[0];
     printRunReport(run, variant, specs);
 
     if (variant.snoopBuses > 1) {
@@ -418,11 +458,7 @@ cmdRun(const std::map<std::string, std::string> &opts)
     }
 
     if (opts.count("json")) {
-        api::Report report("run");
-        report.echoSpec(spec);
-        report.root().set("run",
-                          api::Report::runNode(run, variant, specs));
-        report.writeFile(opts.at("json"));
+        json::writeFile(opts.at("json"), result.report);
         std::printf("wrote %s\n", opts.at("json").c_str());
     }
     return 0;
@@ -477,26 +513,11 @@ cmdSweep(const std::map<std::string, std::string> &opts)
     overlayScaleFlag(opts, spec.scale);
     overlayFilterFlag(opts, spec.filters);
 
-    // Resolve the sweep defaults: all paper apps, the base variant axes.
-    if (spec.apps.empty() && spec.traceFiles.empty()) {
-        for (const auto &app : trace::paperApps())
-            spec.apps.push_back(app.abbrev);
-    }
-    if (spec.sweepProcs.empty()) {
-        // Trace-file sweeps infer the processor axis from the capture,
-        // exactly as replay/bench do — a multi-section file pins it.
-        spec.sweepProcs = {
-            spec.traceFiles.empty()
-                ? spec.machine.procs
-                : trace::inferReplayProcs(spec.traceFiles,
-                                          spec.machine.procs)};
-    }
-    if (spec.sweepBuses.empty())
-        spec.sweepBuses = {spec.machine.buses};
-    rejectForeignSections(spec, "sweep", /*allowBench=*/false);
-    resolveCommonDefaults(spec, 0.25);
-    validateResolved(spec);
-    requireVariantMachine(spec);
+    // Sweep resolution (all-paper-apps default, axis inference) lives
+    // in the shared service executor.
+    std::string err = service::resolveSpec(spec, "sweep");
+    if (!err.empty())
+        fatal(err);
     if (dumpSpecRequested(opts, spec))
         return 0;
 
@@ -510,30 +531,16 @@ cmdSweep(const std::map<std::string, std::string> &opts)
         jobs = static_cast<unsigned>(v);
     }
 
-    // Results carry canonical filter names ("null" -> "NULL"), so
-    // canonicalize the requested specs before using them as lookup keys
-    // and column headers.
-    std::vector<std::string> specs = spec.filters;
-    {
-        const auto amap =
-            spec.machine.toVariant().smpConfig().addressMap();
-        for (auto &s : specs)
-            s = filter::canonicalFilterName(s, amap);
-    }
-
-    std::vector<experiments::RunRequest> requests = spec.expand();
-    for (auto &req : requests)
-        req.filterSpecs = specs;
-
-    const auto sims_before = experiments::RunCache::instance().simulations();
-    const auto sweep_start = std::chrono::steady_clock::now();
-    const auto runs = experiments::runMany(requests, jobs);
-    const double sweep_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      sweep_start)
-            .count();
-    const std::uint64_t simulated =
-        experiments::RunCache::instance().simulations() - sims_before;
+    enableDiskCache(opts);
+    service::ExecuteResult result;
+    err = service::executeResolved(spec, "sweep", jobs, result);
+    if (!err.empty())
+        fatal(err);
+    const std::vector<std::string> &specs = result.filterNames;
+    const std::vector<experiments::RunRequest> &requests = result.requests;
+    const std::vector<experiments::AppRunResult> &runs = result.runs;
+    const double sweep_seconds = result.sweepSeconds;
+    const std::uint64_t simulated = result.simulated;
 
     TextTable table;
     std::vector<std::string> head{"app", "procs", "buses", "snoopMiss%",
@@ -579,15 +586,7 @@ cmdSweep(const std::map<std::string, std::string> &opts)
                 sweep_seconds > 0 ? sim_refs / 1e6 / sweep_seconds : 0.0);
 
     if (opts.count("json")) {
-        api::Report report("sweep");
-        report.echoSpec(spec);
-        json::Value arr = json::Value::array();
-        for (std::size_t i = 0; i < runs.size(); ++i) {
-            arr.push(api::Report::runNode(runs[i], requests[i].variant,
-                                          specs));
-        }
-        report.root().set("runs", std::move(arr));
-        report.writeFile(opts.at("json"));
+        json::writeFile(opts.at("json"), result.report);
         std::printf("wrote %s\n", opts.at("json").c_str());
     }
     return 0;
@@ -738,39 +737,37 @@ cmdReplay(const std::map<std::string, std::string> &opts)
         for (const auto &f : split(opts.at("in"), ','))
             spec.traceFiles.push_back(trim(f));
     }
-    if (spec.traceFiles.empty())
-        fatal("replay needs --in FILE[,FILE...] (or a spec with "
-              "workload.trace_files)");
     overlayFilterFlag(opts, spec.filters);
-    if (spec.filters.empty())
-        spec.filters = kDefaultFilters;
-    rejectSweepAxes(spec, "replay");
-    rejectForeignSections(spec, "replay", /*allowBench=*/false);
-    spec.machine.procs =
-        replayProcs(spec.traceFiles, opts, spec.machine.procs);
-    validateResolved(spec);
-    requireVariantMachine(spec);
+    if (opts.count("procs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("procs"), v) || v < 2)
+            fatal("replay --procs needs a count >= 2");
+        spec.machine.procs = v;
+    }
+    // Resolution (default filters, processor inference from the
+    // capture, section rejection) is the shared service executor's.
+    std::string err = service::resolveSpec(spec, "replay");
+    if (!err.empty())
+        fatal(err);
     if (dumpSpecRequested(opts, spec))
         return 0;
 
     // Replays go through the experiment layer: the sources stream from
     // disk (nothing is materialized) and the run cache keys the workload
     // by the files' content digests, so repeated replays of one capture
-    // simulate once per process.
-    experiments::RunRequest req;
-    req.variant = spec.machine.toVariant();
-    req.traceFiles = spec.traceFiles;
-    req.filterSpecs = spec.filters;
-    req.app.name = "replay:" + spec.traceFiles.front();
-    req.app.abbrev = "rp";
-
-    std::vector<experiments::RunRequest> requests{req};
-    const auto run = experiments::runMany(requests).front();
+    // simulate once per process — and, with the disk tier, once per
+    // machine.
+    enableDiskCache(opts);
+    service::ExecuteResult result;
+    err = service::executeResolved(spec, "replay", 0, result);
+    if (!err.empty())
+        fatal(err);
+    const experiments::AppRunResult &run = result.runs[0];
 
     const auto agg = run.stats.aggregate();
     std::printf("replayed %.2fM refs on %u processors; snoops miss "
                 "%.1f%%\n\n",
-                agg.accesses / 1e6, req.variant.nprocs,
+                agg.accesses / 1e6, spec.machine.procs,
                 percent(agg.snoopMisses, agg.snoopTagProbes));
     TextTable table;
     table.header({"filter", "coverage"});
@@ -781,13 +778,7 @@ cmdReplay(const std::map<std::string, std::string> &opts)
     table.print();
 
     if (opts.count("json")) {
-        api::Report report("replay");
-        report.echoSpec(spec);
-        report.root().set("run", api::Report::runNode(run, req.variant,
-                                                      run.filterNames));
-        report.root().set("trace_digests",
-                          api::Report::traceDigestsNode(spec.traceFiles));
-        report.writeFile(opts.at("json"));
+        json::writeFile(opts.at("json"), result.report);
         std::printf("wrote %s\n", opts.at("json").c_str());
     }
     return 0;
@@ -1187,6 +1178,114 @@ cmdFuzz(const std::map<std::string, std::string> &opts)
     return result.failed ? 2 : 0;
 }
 
+/** The running daemon, for the signal handler (an atomic pointer store/
+ *  load and ExperimentServer::requestStop() are both async-signal-safe). */
+std::atomic<service::ExperimentServer *> gServer{nullptr};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (auto *server = gServer.load())
+        server->requestStop();
+}
+
+int
+cmdServe(const std::map<std::string, std::string> &opts)
+{
+    service::ServerConfig cfg;
+    if (opts.count("socket"))
+        cfg.socketPath = opts.at("socket");
+    if (opts.count("jobs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("jobs"), v))
+            fatal("--jobs needs a non-negative count, got '" +
+                  opts.at("jobs") + "'");
+        cfg.jobs = v;
+    }
+    enableDiskCache(opts);
+
+    service::ExperimentServer server(cfg);
+    std::string err = server.start();
+    if (!err.empty())
+        fatal(err);
+
+    gServer.store(&server);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    // Flushed eagerly so a scripted caller (CI smoke) that backgrounds
+    // the daemon and greps its log sees the ready line immediately.
+    std::printf("serving experiments on %s\n", cfg.socketPath.c_str());
+    std::fflush(stdout);
+
+    server.run();
+    gServer.store(nullptr);
+    std::printf("serve: stopped\n");
+    return 0;
+}
+
+int
+cmdSubmit(const std::string &specPath,
+          const std::map<std::string, std::string> &opts)
+{
+    const std::string socket =
+        opts.count("socket") ? opts.at("socket") : std::string("jetty.sock");
+
+    if (opts.count("shutdown")) {
+        json::Value resp;
+        std::string err = service::requestResponse(
+            socket, service::makeRequest("shutdown"), resp);
+        if (!err.empty())
+            fatal(err);
+        std::printf("submit: server stopping\n");
+        return 0;
+    }
+
+    if (specPath.empty())
+        fatal("submit needs a spec file: jetty_cli submit SPEC.json "
+              "[--socket PATH] [--json FILE]");
+    api::ExperimentSpec spec = api::ExperimentSpec::load(specPath);
+
+    json::Value resp;
+    std::string err = service::requestResponse(
+        socket, service::makeRunRequest(spec.toJson()), resp);
+    if (!err.empty())
+        fatal(err);
+
+    const json::Value *ok = resp.find("ok");
+    if (!ok || !ok->isBool() || !ok->asBool()) {
+        const json::Value *msg = resp.find("error");
+        fatal("server error: " + (msg && msg->isString()
+                                      ? msg->asString()
+                                      : std::string("(malformed response)")));
+    }
+
+    const json::Value *kind = resp.find("kind");
+    const json::Value *simulated = resp.find("simulated");
+    const json::Value *diskHits = resp.find("disk_hits");
+    const json::Value *memHits = resp.find("mem_hits");
+    std::printf("%s: simulated=%llu disk_hits=%llu mem_hits=%llu\n",
+                kind && kind->isString() ? kind->asString().c_str()
+                                         : "(unknown)",
+                static_cast<unsigned long long>(
+                    simulated && simulated->isNumber() ? simulated->asU64()
+                                                       : 0),
+                static_cast<unsigned long long>(
+                    diskHits && diskHits->isNumber() ? diskHits->asU64()
+                                                     : 0),
+                static_cast<unsigned long long>(
+                    memHits && memHits->isNumber() ? memHits->asU64() : 0));
+
+    if (opts.count("json")) {
+        const json::Value *report = resp.find("report");
+        if (!report)
+            fatal("server response carries no report");
+        json::writeFile(opts.at("json"), *report);
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1194,12 +1293,20 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
-                             "capture|trace|replay|bench|fuzz [options]\n"
+                             "capture|trace|replay|serve|submit|bench|fuzz "
+                             "[options]\n"
                              "       (run/sweep/replay/bench/fuzz accept "
-                             "--spec FILE / --dump-spec / --json FILE)\n");
+                             "--spec FILE / --dump-spec / --json FILE;\n"
+                             "        submit takes a positional SPEC.json)\n");
         return 1;
     }
     const std::string cmd = argv[1];
+    if (cmd == "submit") {
+        // submit's spec file is positional: jetty_cli submit SPEC.json
+        const bool hasPath = argc >= 3 && argv[2][0] != '-';
+        const auto opts = parseOptions(argc, argv, hasPath ? 3 : 2);
+        return cmdSubmit(hasPath ? argv[2] : "", opts);
+    }
     const auto opts = parseOptions(argc, argv, 2);
     if (cmd == "run")
         return cmdRun(opts);
@@ -1215,6 +1322,8 @@ main(int argc, char **argv)
         return cmdTrace(opts);
     if (cmd == "replay")
         return cmdReplay(opts);
+    if (cmd == "serve")
+        return cmdServe(opts);
     if (cmd == "bench")
         return cmdBench(opts);
     if (cmd == "fuzz")
