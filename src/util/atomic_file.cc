@@ -59,7 +59,7 @@ AtomicFile::AtomicFile(const std::string &path) : path_(path)
 
 AtomicFile::~AtomicFile()
 {
-    abort();
+    this->abort();
 }
 
 std::string
@@ -70,7 +70,7 @@ AtomicFile::commit()
     if (!err_.empty() || !f_) {
         const std::string why =
             err_.empty() ? "commit without an open temp file" : err_;
-        abort();
+        this->abort();
         return why;
     }
     std::string why;
@@ -93,7 +93,7 @@ AtomicFile::commit()
     }
     if (!why.empty()) {
         err_ = why;
-        abort();
+        this->abort();
         return why;
     }
     temp_.clear();

@@ -28,8 +28,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/moesi.hh"
@@ -132,11 +132,15 @@ class GoldenSmp
 
     struct Proc
     {
-        /** L1 set index -> the set's valid lines (at most l1 assoc). */
-        std::unordered_map<std::uint64_t, std::vector<L1Line>> l1;
+        /** L1 set index -> the set's valid lines (at most l1 assoc).
+         *  Ordered maps, not unordered: snapshot() iterates these, and
+         *  the determinism contract (jobs=1 vs jobs=N bit-identity,
+         *  enforced mechanically by tools/jetty_lint) bans hash-order
+         *  iteration in the verify layer. */
+        std::map<std::uint64_t, std::vector<L1Line>> l1;
 
         /** L2 set index -> the set's resident blocks (at most l2 assoc). */
-        std::unordered_map<std::uint64_t, std::vector<L2Block>> l2;
+        std::map<std::uint64_t, std::vector<L2Block>> l2;
 
         std::deque<mem::WbEntry> wb;
         std::uint64_t l1Clock = 0;

@@ -1,0 +1,29 @@
+// Fixture: two raw-file-write violations — a stream writer and a
+// writing-mode fopen — plus a read-mode fopen that must NOT fire.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace jetty::io
+{
+
+void
+dumpText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);  // line 13: torn file on crash
+    out << text;
+}
+
+std::FILE *
+openLog(const std::string &path)
+{
+    return std::fopen(path.c_str(), "w");  // line 20: writing mode
+}
+
+std::FILE *
+openTrace(const std::string &path)
+{
+    return std::fopen(path.c_str(), "rb");  // read mode: legal
+}
+
+} // namespace jetty::io

@@ -1,0 +1,25 @@
+// Fixture (negative control): util/atomic_file.cc is the sanctioned
+// implementation of the publish-via-rename discipline, so the raw
+// write primitives it is built from are allowlisted for the
+// atomic-write rule. Nothing here may fire.
+#include <cstdio>
+#include <fstream>
+
+namespace jetty::util
+{
+
+bool
+writeStaged(const char *tmpPath, const char *bytes)
+{
+    std::ofstream out(tmpPath, std::ios::binary);
+    out << bytes;
+    return static_cast<bool>(out);
+}
+
+std::FILE *
+openStaged(const char *tmpPath)
+{
+    return std::fopen(tmpPath, "wb");
+}
+
+} // namespace jetty::util

@@ -1,0 +1,21 @@
+// Fixture: two determinism violations the lint must name with
+// file:line — a libc RNG call and a wall-clock type.
+#include <chrono>
+#include <cstdlib>
+
+namespace jetty::sim
+{
+
+unsigned
+pickSeed()
+{
+    return static_cast<unsigned>(rand());  // line 12: banned call form
+}
+
+long
+wallSeed()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+} // namespace jetty::sim

@@ -1,0 +1,24 @@
+// Fixture (negative control): steady_clock is the sanctioned clock —
+// monotonic, used only for wall-clock measurement, never a simulated
+// number — and a named-seed time() call is not the argless form. The
+// determinism rule must not fire anywhere in this file.
+#include <chrono>
+#include <ctime>
+
+namespace jetty::sim
+{
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+long
+fileStamp(std::time_t *slot)
+{
+    return static_cast<long>(std::time(slot));  // has an argument: legal
+}
+
+} // namespace jetty::sim

@@ -1,0 +1,16 @@
+// Fixture: three broken escapes — no justification (the violation must
+// still be reported), an unknown rule name, and a stale annotation.
+#include <cstdint>
+#include <unordered_map>  // jetty-lint: allow(unordered)
+
+namespace jetty::filter
+{
+
+// jetty-lint: allow(speed): not a rule
+struct Scratch
+{
+    // jetty-lint: allow(determinism): nothing on the next line violates determinism
+    std::uint64_t counter = 0;
+};
+
+} // namespace jetty::filter

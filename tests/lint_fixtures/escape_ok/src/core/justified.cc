@@ -1,0 +1,15 @@
+// Fixture: both escape placements — trailing and line-above — with the
+// required justification. This tree must scan clean (exit 0).
+#include <cstdint>
+#include <unordered_set>  // jetty-lint: allow(unordered): fixture proving the trailing escape form parses
+
+namespace jetty::filter
+{
+
+struct DedupScratch
+{
+    // jetty-lint: allow(unordered): never iterated, membership tests only; fixture for the line-above escape form
+    std::unordered_set<std::uint64_t> seen;
+};
+
+} // namespace jetty::filter

@@ -1,0 +1,19 @@
+// Fixture: library code that kills the process instead of returning
+// a failure string (the service-executor contract).
+#include <cstdlib>
+#include <string>
+
+namespace jetty::engine
+{
+
+std::string
+loadConfig(const std::string &path)
+{
+    if (path.empty())
+        exit(2);  // line 13: bare call
+    if (path == "/dev/null")
+        std::abort();  // line 15: std-qualified call
+    return path;
+}
+
+} // namespace jetty::engine

@@ -1,0 +1,8 @@
+// Fixture: exit() in tools/ is legal — executables own their process.
+#include <cstdlib>
+
+int
+main()
+{
+    exit(0);
+}

@@ -1,0 +1,13 @@
+// Fixture: a hash-ordered container in a bit-identity layer.
+#include <cstdint>
+#include <unordered_map>
+
+namespace jetty::filter
+{
+
+struct TrackerState
+{
+    std::unordered_map<std::uint64_t, unsigned> presence;
+};
+
+} // namespace jetty::filter

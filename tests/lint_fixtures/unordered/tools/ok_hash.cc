@@ -1,0 +1,16 @@
+// Fixture (negative control): hash containers are legal outside the
+// deterministic layers (sim/core/verify/experiments). A CLI-side cache
+// under tools/ may iterate in any order — the unordered rule must not
+// fire here.
+#include <string>
+#include <unordered_map>
+
+namespace jetty::tools
+{
+
+struct ArgCache
+{
+    std::unordered_map<std::string, std::string> seen;
+};
+
+} // namespace jetty::tools

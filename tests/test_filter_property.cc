@@ -114,9 +114,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllConfigs, FilterSafety,
     ::testing::Combine(::testing::ValuesIn(allSpecs()),
                        ::testing::Values(1u, 2u, 3u)),
-    [](const auto &info) {
-        std::string name = std::get<0>(info.param) + "_s" +
-                           std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        std::string name = std::get<0>(param_info.param) + "_s" +
+                           std::to_string(std::get<1>(param_info.param));
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

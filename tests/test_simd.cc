@@ -187,7 +187,6 @@ checkL1Classify(L1ClassifyFn fn, const char *what)
     constexpr unsigned kTagShift = kOffsetBits + kIndexBits;
 
     for (unsigned assocShift = 0; assocShift <= 2; ++assocShift) {
-        const unsigned assoc = 1u << assocShift;
         const std::size_t frames = (kSetMask + 1) << assocShift;
         // Tags sized so a derived address stays within 56 bits, with
         // the top tag bits exercised; random valid/writable per frame.
