@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The campaign resume ledger: a directory journaling one completed
+ * shard response per file, so an interrupted distributed sweep resumes
+ * without re-simulating (or even re-dispatching) finished cells.
+ *
+ * Layout mirrors the disk RunCache tier on purpose — one atomic JSON
+ * file per canonical cell key, named by the same 16-hex FNV-1a hash:
+ *
+ *   <dir>/<16-hex-fnv64-of-key>.json
+ *     {"jetty_shard_ledger": 1, "key": "<full canonical key>",
+ *      "response": {...shard_response...}}
+ *
+ * The embedded key detects filename-hash collisions, and the embedded
+ * shard-envelope version (inside "response") invalidates entries a
+ * newer build no longer speaks. Robustness contract matches the disk
+ * cache: the ledger is an accelerator, never an authority — corrupt,
+ * truncated, or wrong-version entries read as misses, every publish is
+ * atomic (util/atomic_file.hh via json::writeFileErr), and no failure
+ * here is ever fatal to the campaign.
+ */
+
+#ifndef JETTY_DIST_LEDGER_HH
+#define JETTY_DIST_LEDGER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dist/shard.hh"
+
+namespace jetty::dist
+{
+
+/** Ledger entry-format version; bump when the shard response schema or
+ *  the simulator's semantics change so stale entries read as misses. */
+constexpr std::uint64_t kLedgerVersion = 1;
+
+class Ledger
+{
+  public:
+    /** An unopened ledger; every operation is a no-op miss. */
+    Ledger() = default;
+
+    /** Open (creating directories as needed) the ledger at @p dir.
+     *  @return "" on success, else the diagnostic. */
+    std::string open(const std::string &dir);
+
+    bool isOpen() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Entry filename (relative to the ledger dir) for a canonical
+     *  cell key. Exposed for tests. */
+    static std::string entryFileFor(const std::string &key);
+
+    /**
+     * Load the journaled response for canonical key @p key. Corrupt,
+     * wrong-version, or collision entries (embedded key differs) are
+     * misses. @return true with @p out filled on a hit.
+     */
+    bool lookup(const std::string &key, ShardResponse &out) const;
+
+    /** Journal @p resp for @p key atomically. Best effort: an I/O
+     *  failure is returned for logging but must not stop the campaign.
+     *  @return "" on success. */
+    std::string publish(const std::string &key,
+                        const ShardResponse &resp) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace jetty::dist
+
+#endif // JETTY_DIST_LEDGER_HH

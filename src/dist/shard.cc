@@ -1,0 +1,280 @@
+#include "dist/shard.hh"
+
+#include <utility>
+
+#include "experiments/run_result_json.hh"
+
+namespace jetty::dist
+{
+
+namespace
+{
+
+// Field lists shared by the writer and the validating reader, keyed by
+// (member, reader kind), so the two directions cannot drift apart — and
+// so jetty_lint can cross-check the lists against the structs.
+#define JETTY_SHARD_REQUEST_FIELDS(X)                                        \
+    X(shardId, u64)                                                          \
+    X(attempt, u64)                                                          \
+    X(cacheKey, str)
+
+#define JETTY_SHARD_RESPONSE_FIELDS(X)                                       \
+    X(shardId, u64)                                                          \
+    X(attempt, u64)                                                          \
+    X(ok, boolean)                                                           \
+    X(error, str)                                                            \
+    X(simulated, u64)                                                        \
+    X(diskHits, u64)                                                         \
+    X(memHits, u64)                                                          \
+    X(wallSeconds, dbl)
+
+/** Validating field reader with dotted-path diagnostics: records the
+ *  first failure and turns every later access into a no-op. */
+struct Reader
+{
+    std::string path;  //!< message name, e.g. "shard_response"
+    std::string err;
+
+    explicit Reader(std::string p) : path(std::move(p)) {}
+
+    bool ok() const { return err.empty(); }
+
+    void
+    fail(const std::string &field, const std::string &what)
+    {
+        if (err.empty())
+            err = path + "." + field + ": " + what;
+    }
+
+    const json::Value *
+    get(const json::Value &o, const char *key)
+    {
+        if (!err.empty())
+            return nullptr;
+        const json::Value *v = o.isObject() ? o.find(key) : nullptr;
+        if (!v)
+            fail(key, "missing field");
+        return v;
+    }
+
+    void
+    u64(const json::Value &o, const char *key, std::uint64_t &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isNumber() || !v->fitsU64()) {
+            fail(key, "not a u64");
+            return;
+        }
+        out = v->asU64();
+    }
+
+    void
+    dbl(const json::Value &o, const char *key, double &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isNumber()) {
+            fail(key, "not a number");
+            return;
+        }
+        out = v->asDouble();
+    }
+
+    void
+    boolean(const json::Value &o, const char *key, bool &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isBool()) {
+            fail(key, "not a bool");
+            return;
+        }
+        out = v->asBool();
+    }
+
+    void
+    str(const json::Value &o, const char *key, std::string &out)
+    {
+        const json::Value *v = get(o, key);
+        if (!v)
+            return;
+        if (!v->isString()) {
+            fail(key, "not a string");
+            return;
+        }
+        out = v->asString();
+    }
+};
+
+/** Envelope preamble shared by every message type. @return "" or the
+ *  dotted-path diagnostic. */
+std::string
+checkEnvelope(const json::Value &v, const char *type)
+{
+    const std::string path = type;
+    if (!v.isObject())
+        return path + ": not a JSON object";
+    const json::Value *ver = v.find("jetty_shard");
+    if (!ver || !ver->isNumber() || !ver->fitsU64())
+        return path + ".jetty_shard: missing version";
+    if (ver->asU64() != kShardVersion) {
+        return path + ".jetty_shard: version " +
+               std::to_string(ver->asU64()) +
+               " not supported (this build speaks " +
+               std::to_string(kShardVersion) + ")";
+    }
+    const json::Value *ty = v.find("type");
+    if (!ty || !ty->isString() || ty->asString() != type) {
+        return path + ".type: expected '" + std::string(type) + "', got " +
+               (ty && ty->isString() ? "'" + ty->asString() + "'"
+                                     : std::string("none"));
+    }
+    return "";
+}
+
+json::Value
+envelope(const char *type)
+{
+    json::Value v = json::Value::object();
+    v.set("jetty_shard", kShardVersion);
+    v.set("type", type);
+    return v;
+}
+
+} // namespace
+
+std::string
+cellCacheKey(const experiments::RunRequest &req)
+{
+    const double scale =
+        req.accessScale > 0 ? req.accessScale : experiments::defaultScale();
+    return api::runCacheKey(req, scale);
+}
+
+api::ExperimentSpec
+shardSpec(const api::ExperimentSpec &sweep,
+          const std::vector<std::string> &canonicalFilters,
+          const experiments::RunRequest &req)
+{
+    api::ExperimentSpec s = sweep;
+    s.machine.procs = req.variant.nprocs;
+    s.machine.buses = req.variant.snoopBuses;
+    s.sweepProcs = {req.variant.nprocs};
+    s.sweepBuses = {req.variant.snoopBuses};
+    s.filters = canonicalFilters;
+    if (sweep.traceFiles.empty())
+        s.apps = {req.app.abbrev};
+    return s;
+}
+
+std::string
+shardMessageType(const json::Value &v)
+{
+    if (!v.isObject())
+        return "";
+    const json::Value *ty = v.find("type");
+    return ty && ty->isString() ? ty->asString() : "";
+}
+
+json::Value
+shardRequestToJson(const ShardRequest &req)
+{
+    json::Value v = envelope("shard_request");
+#define X(f, kind) v.set(#f, req.f);
+    JETTY_SHARD_REQUEST_FIELDS(X)
+#undef X
+    v.set("spec", req.spec);
+    return v;
+}
+
+json::Value
+shardStartedToJson(std::uint64_t shardId, std::uint64_t attempt)
+{
+    json::Value v = envelope("shard_started");
+    v.set("shardId", shardId);
+    v.set("attempt", attempt);
+    return v;
+}
+
+json::Value
+shardResponseToJson(const ShardResponse &resp)
+{
+    json::Value v = envelope("shard_response");
+#define X(f, kind) v.set(#f, resp.f);
+    JETTY_SHARD_RESPONSE_FIELDS(X)
+#undef X
+    json::Value results = json::Value::array();
+    for (const auto &cell : resp.results) {
+        json::Value c = json::Value::object();
+        c.set("key", cell.key);
+        c.set("result", experiments::runResultToJson(cell.result));
+        results.push(std::move(c));
+    }
+    v.set("results", std::move(results));
+    return v;
+}
+
+std::string
+shardRequestFromJson(const json::Value &v, ShardRequest &out)
+{
+    std::string err = checkEnvelope(v, "shard_request");
+    if (!err.empty())
+        return err;
+    Reader rd("shard_request");
+    ShardRequest req;
+#define X(f, kind) rd.kind(v, #f, req.f);
+    JETTY_SHARD_REQUEST_FIELDS(X)
+#undef X
+    const json::Value *spec = rd.get(v, "spec");
+    if (spec && !spec->isObject())
+        rd.fail("spec", "not an object");
+    if (!rd.ok())
+        return rd.err;
+    req.spec = *spec;
+    out = std::move(req);
+    return "";
+}
+
+std::string
+shardResponseFromJson(const json::Value &v, ShardResponse &out)
+{
+    std::string err = checkEnvelope(v, "shard_response");
+    if (!err.empty())
+        return err;
+    Reader rd("shard_response");
+    ShardResponse resp;
+#define X(f, kind) rd.kind(v, #f, resp.f);
+    JETTY_SHARD_RESPONSE_FIELDS(X)
+#undef X
+    const json::Value *results = rd.get(v, "results");
+    if (results && !results->isArray())
+        rd.fail("results", "not an array");
+    if (!rd.ok())
+        return rd.err;
+    for (std::size_t i = 0; i < results->items().size(); ++i) {
+        const json::Value &item = results->items()[i];
+        const std::string at = "results[" + std::to_string(i) + "]";
+        if (!item.isObject())
+            return "shard_response." + at + ": not an object";
+        ShardCell cell;
+        const json::Value *key = item.find("key");
+        if (!key || !key->isString())
+            return "shard_response." + at + ".key: not a string";
+        cell.key = key->asString();
+        const json::Value *result = item.find("result");
+        if (!result)
+            return "shard_response." + at + ".result: missing field";
+        err = experiments::runResultFromJson(*result, cell.result);
+        if (!err.empty())
+            return "shard_response." + at + ".result: " + err;
+        resp.results.push_back(std::move(cell));
+    }
+    out = std::move(resp);
+    return "";
+}
+
+} // namespace jetty::dist

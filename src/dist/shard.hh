@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Wire envelope of the distributed sweep subsystem: the versioned
+ * shard_request / shard_started / shard_response messages a coordinator
+ * exchanges with its workers over any newline-delimited JSON stream
+ * (service/protocol.hh framing — locally a pipe pair to a forked
+ * `jetty_cli worker`, but nothing here assumes a transport).
+ *
+ *   request:  {"jetty_shard": 1, "type": "shard_request",
+ *              "shardId": N, "attempt": N, "cacheKey": "...",
+ *              "spec": {...standalone ExperimentSpec...}}
+ *   started:  {"jetty_shard": 1, "type": "shard_started",
+ *              "shardId": N, "attempt": N}
+ *   response: {"jetty_shard": 1, "type": "shard_response",
+ *              "shardId": N, "attempt": N, "ok": true/false,
+ *              "error": "...", "simulated": N, "diskHits": N,
+ *              "memHits": N, "wallSeconds": S,
+ *              "results": [{"key": "...", "result": {...}}]}
+ *
+ * Every shard spec is a valid standalone ExperimentSpec (a one-cell
+ * sweep), and every result cell is keyed by the same canonical
+ * runCacheKey text the RunCache uses — the coordinator and the worker
+ * each derive the key independently, so a disagreement is detected as a
+ * cross-process determinism violation instead of silently merging the
+ * wrong cell.
+ *
+ * Readers are validating (run_result_json.cc pattern) and report the
+ * first failure with a dotted path ("shard_response.jetty_shard:
+ * version 2 not supported ..."), so a schema-version mismatch or a
+ * malformed field names exactly where the wire and this build disagree.
+ */
+
+#ifndef JETTY_DIST_SHARD_HH
+#define JETTY_DIST_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/experiment_spec.hh"
+#include "experiments/experiments.hh"
+#include "util/json.hh"
+
+namespace jetty::dist
+{
+
+/** Shard envelope version; both directions check it and reject what
+ *  they do not speak (the payload spec/results carry their own schema
+ *  versions, so this only guards the shard framing). */
+constexpr std::uint64_t kShardVersion = 1;
+
+/** One unit of distributable work: a standalone one-cell spec. */
+struct ShardRequest
+{
+    std::uint64_t shardId = 0;
+    std::uint64_t attempt = 0;  //!< 1-based; bumped per (re)assignment
+    std::string cacheKey;       //!< canonical runCacheKey of the cell
+    json::Value spec;           //!< standalone ExperimentSpec document
+};
+
+/** One merged result cell: canonical key plus the full run result. */
+struct ShardCell
+{
+    std::string key;
+    experiments::AppRunResult result;
+};
+
+/** A worker's answer for one shard (ok=false carries the diagnostic;
+ *  the results array may legally be empty — an empty shard merges as a
+ *  no-op and campaign completeness is checked per cell, not per
+ *  message). */
+struct ShardResponse
+{
+    std::uint64_t shardId = 0;
+    std::uint64_t attempt = 0;
+    bool ok = false;
+    std::string error;
+    std::uint64_t simulated = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t memHits = 0;
+    double wallSeconds = 0;
+    std::vector<ShardCell> results;
+};
+
+/** Canonical RunCache key of one expanded cell — the identity runMany()
+ *  itself caches under, shared by coordinator and worker so both sides
+ *  derive it independently. */
+std::string cellCacheKey(const experiments::RunRequest &req);
+
+/** The standalone one-cell spec for one expanded request of a resolved
+ *  sweep spec: the sweep spec with the cell's (procs, buses) pinned on
+ *  both the machine and the sweep axes, the cell's app as the only
+ *  workload entry, and the coordinator's canonical filter names (worker
+ *  re-canonicalization is idempotent). */
+api::ExperimentSpec shardSpec(const api::ExperimentSpec &sweep,
+                              const std::vector<std::string> &canonicalFilters,
+                              const experiments::RunRequest &req);
+
+/** The "type" discriminator of a parsed shard line ("" when absent). */
+std::string shardMessageType(const json::Value &v);
+
+json::Value shardRequestToJson(const ShardRequest &req);
+json::Value shardStartedToJson(std::uint64_t shardId, std::uint64_t attempt);
+json::Value shardResponseToJson(const ShardResponse &resp);
+
+/** Validating readers: @return "" on success, else a dotted-path
+ *  diagnostic ("shard_request.cacheKey: not a string"). @p out is only
+ *  assigned on success. */
+std::string shardRequestFromJson(const json::Value &v, ShardRequest &out);
+std::string shardResponseFromJson(const json::Value &v, ShardResponse &out);
+
+} // namespace jetty::dist
+
+#endif // JETTY_DIST_SHARD_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The worker half of the distributed sweep subsystem: a loop that
+ * serves shard_request lines from one fd and answers shard_started /
+ * shard_response lines on another, executing each shard's standalone
+ * spec through the shared two-tier RunCache.
+ *
+ * The loop is transport-agnostic — `jetty_cli worker` runs it over
+ * stdin/stdout of a forked process, the tests run it on pipe pairs
+ * inside worker threads, and any stream a caller can express as two
+ * fds (an ssh channel, a socket) works unchanged.
+ *
+ * Execution path: the shard spec is resolved and expand()ed exactly
+ * like a single-process sweep cell (NOT the executor's replay verb,
+ * whose labels differ), so the AppRunResults a worker produces are
+ * value-identical to what the coordinator's own process would have
+ * computed — the cross-process half of the determinism contract. The
+ * worker re-derives every cell's canonical cache key and refuses a
+ * shard whose key disagrees with the coordinator's.
+ */
+
+#ifndef JETTY_DIST_WORKER_HH
+#define JETTY_DIST_WORKER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/shard.hh"
+
+namespace jetty::dist
+{
+
+struct WorkerOptions
+{
+    unsigned jobs = 0;  //!< SweepRunner override (0 = shared default)
+
+    /** Fault-injection hook, called with the 1-based count of requests
+     *  received after shard_started is sent but before execution;
+     *  returning true abandons the loop without responding (a mid-shard
+     *  worker death, as the coordinator observes it). */
+    std::function<bool(std::uint64_t)> faultHook;
+};
+
+/** Execute one shard request through the shared RunCache. Failures are
+ *  returned as an ok=false response, never raised — a malformed shard
+ *  must not take the worker down. */
+ShardResponse executeShard(const ShardRequest &req, unsigned jobs);
+
+/** Serve shard requests from @p inFd until EOF.
+ *  @return 0 on clean EOF, 1 on a transport error, 2 when the fault
+ *  hook abandoned a shard. */
+int runWorkerLoop(int inFd, int outFd, const WorkerOptions &opts);
+
+} // namespace jetty::dist
+
+#endif // JETTY_DIST_WORKER_HH

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -11,28 +12,41 @@ namespace jetty::service
 {
 
 int
-connectWithRetry(const std::string &socketPath, double seconds,
+connectWithRetry(const std::string &socketPath, const ClientOptions &opts,
                  std::string *err)
 {
     using Clock = std::chrono::steady_clock;
     const auto deadline =
-        Clock::now() + std::chrono::duration<double>(seconds);
-    for (;;) {
+        Clock::now() + std::chrono::duration<double>(opts.timeoutSeconds);
+    for (unsigned attempt = 0;; ++attempt) {
         const int fd = connectUnix(socketPath, err);
         if (fd >= 0)
             return fd;
-        if (Clock::now() >= deadline)
+        if (attempt >= opts.retries)
             return -1;
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        // Deterministic exponential backoff: 50ms * 2^attempt, capped
+        // at 1s and at the remaining budget. No jitter on purpose —
+        // identical invocations probe at identical offsets, so a
+        // flaking connect is reproducible.
+        const long backoff =
+            std::min(50L << std::min(attempt, 10u), 1000L);
+        const auto now = Clock::now();
+        if (now >= deadline)
+            return -1;
+        const long left = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline - now)
+                              .count();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(backoff, left)));
     }
 }
 
 std::string
 requestResponse(const std::string &socketPath, const json::Value &request,
-                json::Value &response)
+                json::Value &response, const ClientOptions &opts)
 {
     std::string err;
-    const int fd = connectWithRetry(socketPath, 10.0, &err);
+    const int fd = connectWithRetry(socketPath, opts, &err);
     if (fd < 0)
         return err;
     if (!sendValue(fd, request, &err)) {
@@ -41,8 +55,13 @@ requestResponse(const std::string &socketPath, const json::Value &request,
     }
     LineReader reader(fd);
     std::string line;
-    const int got = reader.readLine(line, &err);
+    const int timeoutMs = static_cast<int>(opts.timeoutSeconds * 1000.0);
+    const int got = reader.readLineTimeout(line, timeoutMs, &err);
     ::close(fd);
+    if (got == kReadTimedOut) {
+        return "timed out waiting for the response after " +
+               std::to_string(opts.timeoutSeconds) + "s";
+    }
     if (got < 0)
         return err;
     if (got == 0)

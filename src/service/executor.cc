@@ -177,6 +177,45 @@ resolveSpec(api::ExperimentSpec &spec, const std::string &kind)
     return requireVariantMachine(spec);
 }
 
+std::vector<std::string>
+canonicalFilterNames(const api::ExperimentSpec &spec)
+{
+    std::vector<std::string> names = spec.filters;
+    const auto amap = spec.machine.toVariant().smpConfig().addressMap();
+    for (auto &s : names)
+        s = filter::canonicalFilterName(s, amap);
+    return names;
+}
+
+json::Value
+buildReport(const api::ExperimentSpec &spec, const std::string &kind,
+            const std::vector<std::string> &filterNames,
+            const std::vector<experiments::RunRequest> &requests,
+            const std::vector<experiments::AppRunResult> &runs)
+{
+    api::Report report(kind);
+    report.echoSpec(spec);
+    if (kind == "sweep") {
+        json::Value arr = json::Value::array();
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            arr.push(api::Report::runNode(runs[i], requests[i].variant,
+                                          filterNames));
+        }
+        report.root().set("runs", std::move(arr));
+    } else if (kind == "run") {
+        report.root().set("run",
+                          api::Report::runNode(runs[0], requests[0].variant,
+                                               filterNames));
+    } else {
+        report.root().set("run",
+                          api::Report::runNode(runs[0], requests[0].variant,
+                                               runs[0].filterNames));
+        report.root().set("trace_digests",
+                          api::Report::traceDigestsNode(spec.traceFiles));
+    }
+    return report.root();
+}
+
 std::string
 executeResolved(const api::ExperimentSpec &spec, const std::string &kind,
                 unsigned jobs, ExecuteResult &out)
@@ -188,14 +227,7 @@ executeResolved(const api::ExperimentSpec &spec, const std::string &kind,
     out.spec = spec;
 
     const experiments::SystemVariant variant = spec.machine.toVariant();
-    // Results carry canonical filter names; canonicalize the requested
-    // specs once so they work as lookup keys and column headers.
-    out.filterNames = spec.filters;
-    {
-        const auto amap = variant.smpConfig().addressMap();
-        for (auto &s : out.filterNames)
-            s = filter::canonicalFilterName(s, amap);
-    }
+    out.filterNames = canonicalFilterNames(spec);
 
     if (kind == "run") {
         experiments::RunRequest req;
@@ -234,28 +266,8 @@ executeResolved(const api::ExperimentSpec &spec, const std::string &kind,
     out.diskHits = cache.diskHits() - disk0;
     out.memHits = cache.hits() - hits0 - out.diskHits;
 
-    api::Report report(kind);
-    report.echoSpec(spec);
-    if (kind == "run") {
-        report.root().set(
-            "run", api::Report::runNode(out.runs[0], variant,
-                                        out.filterNames));
-    } else if (kind == "sweep") {
-        json::Value arr = json::Value::array();
-        for (std::size_t i = 0; i < out.runs.size(); ++i) {
-            arr.push(api::Report::runNode(
-                out.runs[i], out.requests[i].variant, out.filterNames));
-        }
-        report.root().set("runs", std::move(arr));
-    } else {
-        report.root().set(
-            "run", api::Report::runNode(out.runs[0], variant,
-                                        out.runs[0].filterNames));
-        report.root().set(
-            "trace_digests",
-            api::Report::traceDigestsNode(spec.traceFiles));
-    }
-    out.report = report.root();
+    out.report = buildReport(spec, kind, out.filterNames, out.requests,
+                             out.runs);
     return "";
 }
 

@@ -98,6 +98,25 @@ std::string executeResolved(const api::ExperimentSpec &spec,
 std::string executeSpec(api::ExperimentSpec spec, unsigned jobs,
                         ExecuteResult &out);
 
+/** The spec's filter specs canonicalized under its machine's address
+ *  map — results carry canonical names, so these are the lookup keys
+ *  and report column headers. */
+std::vector<std::string>
+canonicalFilterNames(const api::ExperimentSpec &spec);
+
+/**
+ * Build the api::Report tree for an executed spec from its expanded
+ * requests and their answers. This is the ONE place a report is
+ * assembled — executeResolved() and the distributed sweep merger
+ * (dist::Coordinator) both call it, so a merged distributed report is
+ * byte-identical to the single-process report by construction.
+ */
+json::Value buildReport(const api::ExperimentSpec &spec,
+                        const std::string &kind,
+                        const std::vector<std::string> &filterNames,
+                        const std::vector<experiments::RunRequest> &requests,
+                        const std::vector<experiments::AppRunResult> &runs);
+
 } // namespace jetty::service
 
 #endif // JETTY_SERVICE_EXECUTOR_HH

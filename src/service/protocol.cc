@@ -1,10 +1,12 @@
 #include "service/protocol.hh"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -100,9 +102,14 @@ sendLine(int fd, const std::string &line, std::string *err)
     std::size_t sent = 0;
     while (sent < framed.size()) {
         // MSG_NOSIGNAL: a client hanging up mid-response must surface
-        // as EPIPE here, not kill the daemon with SIGPIPE.
-        const ssize_t n = ::send(fd, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
+        // as EPIPE here, not kill the daemon with SIGPIPE. Non-socket
+        // fds (a worker attached over pipes) reject send() with
+        // ENOTSOCK and take the write() path — those callers ignore
+        // SIGPIPE themselves.
+        ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, framed.data() + sent, framed.size() - sent);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -122,28 +129,89 @@ sendValue(int fd, const json::Value &v, std::string *err)
 }
 
 int
+LineReader::takeBuffered(std::string &line, std::string *err)
+{
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return 1;
+    }
+    if (buf_.size() > kMaxLineBytes) {
+        if (err)
+            *err = "line exceeds " + std::to_string(kMaxLineBytes) +
+                   " bytes";
+        return -1;
+    }
+    return 0;
+}
+
+int
 LineReader::readLine(std::string &line, std::string *err)
 {
     for (;;) {
-        const std::size_t nl = buf_.find('\n');
-        if (nl != std::string::npos) {
-            line.assign(buf_, 0, nl);
-            buf_.erase(0, nl + 1);
-            return 1;
-        }
-        if (buf_.size() > kMaxLineBytes) {
-            if (err)
-                *err = "line exceeds " + std::to_string(kMaxLineBytes) +
-                       " bytes";
-            return -1;
-        }
+        const int buffered = takeBuffered(line, err);
+        if (buffered != 0)
+            return buffered;
         char chunk[64 * 1024];
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        // read(), not recv(): the reader also serves non-socket
+        // transports (worker pipes).
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             if (err)
-                *err = "recv: " + errnoString();
+                *err = "read: " + errnoString();
+            return -1;
+        }
+        if (n == 0) {
+            if (buf_.empty())
+                return 0;
+            if (err)
+                *err = "connection closed mid-line";
+            return -1;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+int
+LineReader::readLineTimeout(std::string &line, int timeoutMs,
+                            std::string *err)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                             timeoutMs < 0 ? 0 : timeoutMs);
+    for (;;) {
+        const int buffered = takeBuffered(line, err);
+        if (buffered != 0)
+            return buffered;
+        const auto left = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline -
+                                                         Clock::now())
+                              .count();
+        if (left <= 0)
+            return kReadTimedOut;
+        struct pollfd pfd = {fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "poll: " + errnoString();
+            return -1;
+        }
+        if (ready == 0)
+            return kReadTimedOut;
+        char chunk[64 * 1024];
+        // read(), not recv(): the reader also serves non-socket
+        // transports (worker pipes).
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "read: " + errnoString();
             return -1;
         }
         if (n == 0) {

@@ -56,6 +56,10 @@ bool sendLine(int fd, const std::string &line, std::string *err);
 /** Frame @p v and send it. */
 bool sendValue(int fd, const json::Value &v, std::string *err);
 
+/** readLineTimeout() result when the deadline passed before a full
+ *  line arrived (no buffered bytes are lost; the caller may retry). */
+constexpr int kReadTimedOut = -2;
+
 /** Incremental newline-delimited reader over one fd. */
 class LineReader
 {
@@ -66,7 +70,26 @@ class LineReader
      *  @return 1 on a line, 0 on clean EOF, -1 with @p err set. */
     int readLine(std::string &line, std::string *err);
 
+    /** As readLine(), but waits at most @p timeoutMs for the line to
+     *  complete (buffered data is served without waiting). @return as
+     *  readLine(), or kReadTimedOut when the deadline passed — partial
+     *  data stays buffered, so retrying is always safe. */
+    int readLineTimeout(std::string &line, int timeoutMs, std::string *err);
+
+    /** A complete line is already buffered: readLine() would return
+     *  without touching the fd. Poll-driven callers MUST check this
+     *  before sleeping — one read() can buffer several lines, and
+     *  poll() cannot see this userspace buffer. */
+    bool hasBufferedLine() const
+    {
+        return buf_.find('\n') != std::string::npos;
+    }
+
   private:
+    /** Pop a buffered line if one is complete; enforce kMaxLineBytes.
+     *  @return 1 (line), -1 (too long), 0 (need more data). */
+    int takeBuffered(std::string &line, std::string *err);
+
     int fd_;
     std::string buf_;
 };

@@ -145,6 +145,15 @@ ExperimentServer::run()
         workers_.emplace_back(
             [this, fd]() { serveClient(fd); });
     }
+    // Drain: refuse new connections immediately (close and unlink the
+    // listening socket), then let every connection thread finish its
+    // in-flight request — serveClient() notices stop_ between requests
+    // via its read timeout, so the join below is bounded by one job.
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(cfg_.socketPath.c_str());
+        listenFd_ = -1;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     for (auto &t : workers_) {
         if (t.joinable())
@@ -160,7 +169,16 @@ ExperimentServer::serveClient(int fd)
     std::string line;
     std::string err;
     for (;;) {
-        const int got = reader.readLine(line, &err);
+        // A bounded read keeps an idle (or wedged) client from pinning
+        // the daemon open across a stop request: a request already
+        // being executed always finishes and gets its response, but
+        // between requests the stop flag wins.
+        const int got = reader.readLineTimeout(line, 200, &err);
+        if (got == kReadTimedOut) {
+            if (stop_.load())
+                break;
+            continue;
+        }
         if (got <= 0)
             break;  // EOF or a framing error: the client is gone
         json::Value req = json::parse(line, &err);

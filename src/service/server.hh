@@ -17,6 +17,12 @@
  * "stats" (cache counters), "shutdown" (acknowledge, then stop the
  * daemon). Any malformed request gets ok=false; nothing a client sends
  * can take the daemon down.
+ *
+ * Graceful drain: requestStop() (SIGTERM/SIGINT path) first closes and
+ * unlinks the listening socket — new connections are refused — then
+ * every connection thread finishes its in-flight request, sends the
+ * response, and exits at its next bounded read; run() returns once all
+ * of them have joined.
  */
 
 #ifndef JETTY_SERVICE_SERVER_HH

@@ -3,7 +3,8 @@
 #   1. Every rule family fires on its planted fixture violation with the
 #      rule name and file:line (tests/lint_fixtures/<family>/ trees) —
 #      including the serialization-completeness check catching a counter
-#      deliberately omitted from its X-macro list.
+#      deliberately omitted from its X-macro list, for both the one-arg
+#      disk-cache lists and the two-arg shard envelope lists.
 #   2. The escape hatch parses: a justified allow() suppresses (and only
 #      then); a missing justification, an unknown rule, and a stale
 #      annotation are all findings themselves.
@@ -65,6 +66,19 @@ lint_expect(${FIXTURES}/serialization 1
             "BusStats::upgrades is missing from JETTY_BUS_STAT_FIELDS"
             "src/sim/interconnect.hh:14"
             "names 'snoops', which is not a scalar member")
+
+# The shard envelope variant: two-arg X(name, kind) entries parse, the
+# omitted field is named in both directions plus by the serializer-TU
+# reference check, and a string member present in the list stays silent
+# (strings count as scalar). The pinned count of exactly 3 findings is
+# the regression guard: if two-arg parsing broke, every in-sync field
+# would be reported missing as well.
+lint_expect(${FIXTURES}/shard_serialization 1
+            "ShardResponse::wallSeconds is missing from JETTY_SHARD_RESPONSE_FIELDS"
+            "src/dist/shard_msg.hh:16"
+            "names 'latency', which is not a scalar member"
+            "ShardResponse::wallSeconds is never referenced in shard.cc"
+            "jetty_lint: 3 findings")
 
 # Negative controls must NOT fire, pinned by exact finding counts:
 #   determinism: steady_clock + time(with-arg) (src/sim/ok_clock.cc)

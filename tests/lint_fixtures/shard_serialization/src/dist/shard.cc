@@ -1,0 +1,24 @@
+// Fixture: the serializer side — a two-arg shard envelope list that
+// dropped a field (and carries one stale entry for the reverse check).
+// If the two-arg `X(name, kind)` form failed to parse, every in-sync
+// field below would be reported missing too — the exact finding count
+// pinned in jetty_lint.cmake guards against that regression.
+#define JETTY_SHARD_RESPONSE_FIELDS(X)                                       \
+    X(shardId, u64)                                                          \
+    X(ok, boolean)                                                           \
+    X(error, str)                                                            \
+    X(latency, dbl)
+
+namespace jetty::dist
+{
+
+// The real serializer expands the list for writer and validating
+// reader; one expansion is enough for the completeness check to bind.
+struct ResponseRow
+{
+#define X(f, kind) unsigned long long f;
+    JETTY_SHARD_RESPONSE_FIELDS(X)
+#undef X
+};
+
+} // namespace jetty::dist

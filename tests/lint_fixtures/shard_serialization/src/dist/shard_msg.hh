@@ -1,0 +1,19 @@
+// Fixture: the struct side of the shard envelope contract.
+// `wallSeconds` is deliberately omitted from the two-arg X-macro list
+// in shard.cc — the lint must name it twice: once as missing from the
+// list, once as never referenced by the serializer TU.
+#include <cstdint>
+#include <string>
+
+namespace jetty::dist
+{
+
+struct ShardResponse
+{
+    std::uint64_t shardId = 0;
+    bool ok = false;
+    std::string error;       // negative control: strings are scalar
+    double wallSeconds = 0;  // line 16: missing from the X list
+};
+
+} // namespace jetty::dist

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -185,4 +187,114 @@ TEST(ExperimentService, ServedReportIsByteIdenticalToDirectExecution)
               "");
     serverThread.join();
     experiments::RunCache::instance().clear();
+}
+
+TEST(ExperimentService, GracefulDrainAnswersInFlightAndRefusesNew)
+{
+    const std::string socket =
+        ::testing::TempDir() + "jetty_test_drain.sock";
+    service::ServerConfig cfg;
+    cfg.socketPath = socket;
+    service::ExperimentServer server(cfg);
+    ASSERT_EQ(server.start(), "");
+    std::thread serverThread([&server]() { server.run(); });
+
+    // One answered round trip per connection first: connect() alone
+    // only proves the kernel queued the handshake — a response proves
+    // serveClient() is running for the fd, which is what the drain
+    // contract covers (a never-accepted backlog entry is refused).
+    std::string err;
+    std::string line;
+    auto roundTrip = [&err, &line](int fd) {
+        if (!service::sendValue(fd, service::makeRequest("ping"), &err))
+            return false;
+        service::LineReader reader(fd);
+        return reader.readLineTimeout(line, 5000, &err) == 1;
+    };
+
+    // An idle connection (no further request) must not pin the daemon
+    // open across a stop request...
+    const int idle = service::connectUnix(socket, &err);
+    ASSERT_GE(idle, 0) << err;
+    ASSERT_TRUE(roundTrip(idle)) << err;
+
+    // ...and a request already on the wire when the stop lands must
+    // still be executed and answered in full.
+    const int busy = service::connectUnix(socket, &err);
+    ASSERT_GE(busy, 0) << err;
+    ASSERT_TRUE(roundTrip(busy)) << err;
+    ASSERT_TRUE(service::sendValue(busy, service::makeRequest("stats"),
+                                   &err));
+    server.requestStop();
+
+    service::LineReader reader(busy);
+    ASSERT_EQ(reader.readLineTimeout(line, 5000, &err), 1) << err;
+    json::Value resp = json::parse(line, &err);
+    ASSERT_EQ(err, "");
+    const json::Value *ok = resp.find("ok");
+    EXPECT_TRUE(ok && ok->isBool() && ok->asBool());
+    EXPECT_TRUE(resp.find("simulations") != nullptr);
+
+    // run() returns once every connection thread drained — the idle
+    // client must not block this join (the test would hang).
+    serverThread.join();
+    ::close(idle);
+    ::close(busy);
+
+    // The listening socket is gone: new connections are refused.
+    const int refused = service::connectUnix(socket, &err);
+    EXPECT_LT(refused, 0);
+    if (refused >= 0)
+        ::close(refused);
+}
+
+TEST(ServiceClient, ConnectBackoffIsBoundedByTimeout)
+{
+    service::ClientOptions opts;
+    opts.timeoutSeconds = 0.3;
+    opts.retries = 3;
+    json::Value resp;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string err = service::requestResponse(
+        ::testing::TempDir() + "jetty_no_such_daemon.sock",
+        service::makeRequest("ping"), resp, opts);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_NE(err, "");
+    // Deterministic backoff (50+100+200 ms) capped by the 0.3 s budget;
+    // generous ceiling so a loaded CI machine cannot flake this.
+    EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(ServiceClient, ResponseWaitTimesOutAgainstAWedgedServer)
+{
+    const std::string socket =
+        ::testing::TempDir() + "jetty_test_wedged.sock";
+    std::string err;
+    const int listenFd = service::listenUnix(socket, &err);
+    ASSERT_GE(listenFd, 0) << err;
+
+    // A server that accepts and then never answers.
+    std::thread wedged([listenFd]() {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            // Hold the connection open long enough for the client's
+            // timeout to be what fires, then hang up.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+            ::close(fd);
+        }
+    });
+
+    service::ClientOptions opts;
+    opts.timeoutSeconds = 0.3;
+    json::Value resp;
+    const std::string cerr = service::requestResponse(
+        socket, service::makeRequest("ping"), resp, opts);
+    EXPECT_NE(cerr.find("timed out"), std::string::npos) << cerr;
+
+    wedged.join();
+    ::close(listenFd);
+    ::unlink(socket.c_str());
 }

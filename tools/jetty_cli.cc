@@ -23,8 +23,17 @@
  *                     [--no-subblock] [--scale F] [--jobs N]
  *                     [--filters SPEC[,SPEC...]] [--json FILE]
  *                     [--dump-spec]
+ *                     [--workers N] [--ledger DIR] [--retries N]
+ *                     [--respawns N] [--steal-after S] [--events FILE]
+ *                     [--kill-worker-after N]
  *                     (--procs/--buses are sweep axes: every
- *                     (app, procs, buses) cell of the cross-product)
+ *                     (app, procs, buses) cell of the cross-product;
+ *                     --workers N shards the campaign across N local
+ *                     worker processes via the dist coordinator —
+ *                     same Report bytes, plus work stealing, bounded
+ *                     retry, and --ledger crash resume.
+ *                     --kill-worker-after K is fault injection: the
+ *                     first worker dies mid-shard after K requests)
  *   jetty_cli apps
  *   jetty_cli filters
  *   jetty_cli capture --app NAME --out FILE [--procs N] [--scale F]
@@ -48,11 +57,18 @@
  *                     streams structured Reports back; many concurrent
  *                     clients share one cache)
  *   jetty_cli submit  SPEC.json [--socket PATH] [--json FILE]
+ *                     [--timeout S] [--retries N]
  *   jetty_cli submit  --shutdown [--socket PATH]
  *                     (send one spec to a serve daemon and print its
  *                     cache counters; --json writes the streamed Report
  *                     — bit-identical to what the direct subcommand
- *                     would have written)
+ *                     would have written. --timeout/--retries bound the
+ *                     connect backoff and the response wait)
+ *   jetty_cli worker  [--jobs N] [--cache-dir DIR]
+ *                     (distributed-sweep worker loop: serves shard
+ *                     requests on stdin, answers on stdout; spawned by
+ *                     `sweep --workers N`, or attach one over any
+ *                     stream transport — ssh included)
  *   jetty_cli bench   [--spec FILE] [--app NAME | --in FILE[,FILE...]]
  *                     [--procs N] [--buses N] [--scale F]
  *                     [--filters SPEC[,...]] [--batch N] [--repeat K]
@@ -76,12 +92,17 @@
  *                     Exit 0 clean, 2 on a caught violation)
  */
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
@@ -94,6 +115,8 @@
 #include "api/report.hh"
 #include "core/filter_registry.hh"
 #include "core/filter_spec.hh"
+#include "dist/coordinator.hh"
+#include "dist/worker.hh"
 #include "experiments/experiments.hh"
 #include "service/client.hh"
 #include "service/executor.hh"
@@ -464,6 +487,253 @@ cmdRun(const std::map<std::string, std::string> &opts)
     return 0;
 }
 
+/** The sweep results table — one row per (app, variant) cell, one
+ *  coverage column per filter. Shared by the single-process and the
+ *  distributed (--workers) paths so their human output matches too. */
+void
+printSweepTable(const std::vector<std::string> &specs,
+                const std::vector<experiments::RunRequest> &requests,
+                const std::vector<experiments::AppRunResult> &runs)
+{
+    TextTable table;
+    std::vector<std::string> head{"app", "procs", "buses", "snoopMiss%",
+                                  "Mrefs/s"};
+    for (const auto &s : specs)
+        head.push_back(s);
+    table.header(head);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &run = runs[i];
+        const auto agg = run.stats.aggregate();
+        std::vector<std::string> row{
+            run.abbrev,
+            std::to_string(requests[i].variant.nprocs),
+            std::to_string(requests[i].variant.snoopBuses),
+            TextTable::pct(percent(agg.snoopMisses, agg.snoopTagProbes)),
+            !run.refsTooFewForRate && run.simSeconds > 0
+                ? TextTable::num(run.totalRefs / 1e6 / run.simSeconds, 1)
+                : std::string("-"),
+        };
+        for (const auto &s : specs)
+            row.push_back(TextTable::pct(100.0 * run.statsFor(s).coverage()));
+        table.row(std::move(row));
+    }
+    table.print();
+}
+
+/** One human-readable progress line per ShardEvent, flushed eagerly so
+ *  a scripted caller tailing the coordinator sees shard lifecycle
+ *  transitions (assigned/started/completed/stolen/retried/resumed/
+ *  duplicate/worker_died) as they happen. */
+void
+printShardEvent(const dist::ShardEvent &ev)
+{
+    if (ev.type == "worker_died") {
+        std::printf("worker %d died%s%s\n", ev.worker,
+                    ev.detail.empty() ? "" : ": ", ev.detail.c_str());
+        std::fflush(stdout);
+        return;
+    }
+    std::string line = "shard " + std::to_string(ev.shardId) + " " + ev.type;
+    if (ev.worker >= 0)
+        line += " worker=" + std::to_string(ev.worker);
+    if (ev.attempt > 0)
+        line += " attempt=" + std::to_string(ev.attempt);
+    if (ev.type == "completed") {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      " (%.2fs, %llu simulated, %llu disk, %llu mem)",
+                      ev.wallSeconds,
+                      static_cast<unsigned long long>(ev.simulated),
+                      static_cast<unsigned long long>(ev.diskHits),
+                      static_cast<unsigned long long>(ev.memHits));
+        line += buf;
+    }
+    if (!ev.detail.empty() && ev.type != "completed")
+        line += ": " + ev.detail;
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+}
+
+/**
+ * The `sweep --workers N` path: shard the resolved campaign across N
+ * locally forked `jetty_cli worker` processes through the dist
+ * coordinator. The merged Report is byte-identical to the
+ * single-process path (same service::buildReport, cells keyed by the
+ * canonical runCacheKey); what changes is the execution fabric — work
+ * stealing for stragglers, bounded retry on worker death, and an
+ * optional on-disk resume ledger.
+ */
+int
+runDistributedSweep(const api::ExperimentSpec &spec,
+                    const std::map<std::string, std::string> &opts,
+                    unsigned jobs)
+{
+    unsigned workers = 0;
+    if (!parseUnsigned(opts.at("workers"), workers) || workers < 1)
+        fatal("--workers needs a count >= 1, got '" + opts.at("workers") +
+              "'");
+
+    // Worker pipes: a worker dying mid-write must surface as EPIPE on
+    // the coordinator's send, not kill the coordinator with SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    dist::CoordinatorConfig cfg;
+    cfg.spawnWorkers = workers;
+    if (opts.count("retries")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("retries"), v))
+            fatal("--retries needs a non-negative count, got '" +
+                  opts.at("retries") + "'");
+        cfg.maxRetries = v;
+    }
+    if (opts.count("respawns")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("respawns"), v))
+            fatal("--respawns needs a non-negative count, got '" +
+                  opts.at("respawns") + "'");
+        cfg.maxRespawns = v;
+    }
+    if (opts.count("steal-after")) {
+        const double v = std::atof(opts.at("steal-after").c_str());
+        if (!std::isfinite(v))
+            fatal("--steal-after needs a finite number of seconds, got '" +
+                  opts.at("steal-after") + "'");
+        cfg.stealAfterSeconds = v;
+    }
+    if (opts.count("ledger"))
+        cfg.ledgerDir = opts.at("ledger");
+    cfg.eventSink = printShardEvent;
+
+    unsigned long long killAfter = 0;
+    if (opts.count("kill-worker-after")) {
+        char *end = nullptr;
+        killAfter = std::strtoull(opts.at("kill-worker-after").c_str(),
+                                  &end, 10);
+        if (end == opts.at("kill-worker-after").c_str() || *end != '\0' ||
+            killAfter == 0)
+            fatal("--kill-worker-after needs a positive request count, "
+                  "got '" + opts.at("kill-worker-after") + "'");
+    }
+
+    // Children must attach the exact cache tier the parent resolved
+    // (flag > env > default): pass it explicitly so a respawned worker
+    // under a stripped environment still lands on the same directory.
+    const std::string cacheRoot =
+        experiments::RunCache::instance().diskRoot();
+
+    auto spawned = std::make_shared<unsigned>(0);
+    cfg.factory = [&opts, &cacheRoot, jobs, killAfter,
+                   spawned](dist::WorkerEndpoint &ep,
+                            std::string *err) -> bool {
+        (void)opts;
+        int req[2];
+        int resp[2];
+        // O_CLOEXEC everywhere: a later-forked worker must NOT inherit
+        // an earlier worker's pipe ends across its execv — a leaked
+        // request-pipe write end would keep that worker's stdin open
+        // after the coordinator hangs up, so it never sees EOF and the
+        // wind-down reap deadlocks. The child's dup2 onto fds 0/1
+        // clears the flag on exactly the two ends it needs.
+        if (::pipe2(req, O_CLOEXEC) != 0) {
+            if (err)
+                *err = std::string("pipe: ") + std::strerror(errno);
+            return false;
+        }
+        if (::pipe2(resp, O_CLOEXEC) != 0) {
+            if (err)
+                *err = std::string("pipe: ") + std::strerror(errno);
+            ::close(req[0]);
+            ::close(req[1]);
+            return false;
+        }
+        const unsigned index = (*spawned)++;
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            if (err)
+                *err = std::string("fork: ") + std::strerror(errno);
+            ::close(req[0]);
+            ::close(req[1]);
+            ::close(resp[0]);
+            ::close(resp[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: shard requests on stdin, responses on stdout,
+            // stderr inherited so worker diagnostics stay visible.
+            ::dup2(req[0], 0);
+            ::dup2(resp[1], 1);
+            ::close(req[0]);
+            ::close(req[1]);
+            ::close(resp[0]);
+            ::close(resp[1]);
+            if (killAfter > 0 && index == 0) {
+                // Fault injection: only the FIRST spawn dies, so a
+                // respawned replacement finishes the campaign.
+                ::setenv("JETTY_WORKER_DIE_AFTER",
+                         std::to_string(killAfter).c_str(), 1);
+            }
+            std::vector<std::string> args = {
+                "jetty_cli", "worker", "--cache-dir",
+                cacheRoot.empty() ? std::string("off") : cacheRoot};
+            if (jobs) {
+                args.push_back("--jobs");
+                args.push_back(std::to_string(jobs));
+            }
+            std::vector<char *> argvp;
+            argvp.reserve(args.size() + 1);
+            for (auto &a : args)
+                argvp.push_back(const_cast<char *>(a.c_str()));
+            argvp.push_back(nullptr);
+            ::execv("/proc/self/exe", argvp.data());
+            _exit(127);
+        }
+        ::close(req[0]);
+        ::close(resp[1]);
+        ep.readFd = resp[0];
+        ep.writeFd = req[1];
+        ep.pid = pid;
+        return true;
+    };
+
+    dist::Coordinator coordinator(cfg);
+    dist::CampaignResult result;
+    const std::string err = coordinator.run(spec, result);
+    if (!err.empty())
+        fatal(err);
+
+    printSweepTable(result.filterNames, result.requests, result.runs);
+
+    std::printf("\n%llu shards (%llu simulated, %llu disk hits, "
+                "%llu mem hits), %u workers, resumed %llu, stolen %llu, "
+                "retried %llu, duplicates %llu, %.1fs\n",
+                static_cast<unsigned long long>(result.shards),
+                static_cast<unsigned long long>(result.simulated),
+                static_cast<unsigned long long>(result.diskHits),
+                static_cast<unsigned long long>(result.memHits), workers,
+                static_cast<unsigned long long>(result.resumed),
+                static_cast<unsigned long long>(result.stolen),
+                static_cast<unsigned long long>(result.retried),
+                static_cast<unsigned long long>(result.duplicates),
+                result.wallSeconds);
+
+    if (opts.count("events")) {
+        json::Value doc = json::Value::object();
+        doc.set("jetty_dist_events", 1);
+        json::Value arr = json::Value::array();
+        for (const auto &ev : result.events)
+            arr.push(ev.toJson());
+        doc.set("events", std::move(arr));
+        json::writeFile(opts.at("events"), doc);
+        std::printf("wrote %s\n", opts.at("events").c_str());
+    }
+    if (opts.count("json")) {
+        json::writeFile(opts.at("json"), result.report);
+        std::printf("wrote %s\n", opts.at("json").c_str());
+    }
+    return 0;
+}
+
 /**
  * The parallel cross-product: applications × system variants, one table
  * row per (app, variant), one column per filter. The spec's expand() is
@@ -532,6 +802,13 @@ cmdSweep(const std::map<std::string, std::string> &opts)
     }
 
     enableDiskCache(opts);
+
+    // The distributed fabric: shard the campaign across local worker
+    // processes instead of in-process SweepRunner threads. Same Report
+    // bytes either way — the branch only changes who simulates.
+    if (opts.count("workers"))
+        return runDistributedSweep(spec, opts, jobs);
+
     service::ExecuteResult result;
     err = service::executeResolved(spec, "sweep", jobs, result);
     if (!err.empty())
@@ -542,30 +819,7 @@ cmdSweep(const std::map<std::string, std::string> &opts)
     const double sweep_seconds = result.sweepSeconds;
     const std::uint64_t simulated = result.simulated;
 
-    TextTable table;
-    std::vector<std::string> head{"app", "procs", "buses", "snoopMiss%",
-                                  "Mrefs/s"};
-    for (const auto &s : specs)
-        head.push_back(s);
-    table.header(head);
-
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const auto &run = runs[i];
-        const auto agg = run.stats.aggregate();
-        std::vector<std::string> row{
-            run.abbrev,
-            std::to_string(requests[i].variant.nprocs),
-            std::to_string(requests[i].variant.snoopBuses),
-            TextTable::pct(percent(agg.snoopMisses, agg.snoopTagProbes)),
-            !run.refsTooFewForRate && run.simSeconds > 0
-                ? TextTable::num(run.totalRefs / 1e6 / run.simSeconds, 1)
-                : std::string("-"),
-        };
-        for (const auto &s : specs)
-            row.push_back(TextTable::pct(100.0 * run.statsFor(s).coverage()));
-        table.row(std::move(row));
-    }
-    table.print();
+    printSweepTable(specs, requests, runs);
 
     // Report the concurrency actually available to this sweep: the
     // requested (or default) worker count never exceeds the number of
@@ -1224,6 +1478,50 @@ cmdServe(const std::map<std::string, std::string> &opts)
     return 0;
 }
 
+/** The distributed-sweep worker loop over stdin/stdout. Spawned by
+ *  `sweep --workers N` (pipes dup2'd onto fds 0/1), but any stream a
+ *  caller can land on those fds works — the envelope is
+ *  transport-agnostic. JETTY_WORKER_DIE_AFTER=K (fault injection for
+ *  the kill tests and the CI smoke) makes the process die mid-shard —
+ *  after shard_started, before the response — on the Kth request. */
+int
+cmdWorker(const std::map<std::string, std::string> &opts)
+{
+    // The coordinator may vanish while a response is in flight; EPIPE
+    // on the write is the recoverable signal, SIGPIPE is not.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    dist::WorkerOptions wopts;
+    if (opts.count("jobs")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("jobs"), v))
+            fatal("--jobs needs a non-negative count, got '" +
+                  opts.at("jobs") + "'");
+        wopts.jobs = v;
+    }
+    enableDiskCache(opts);
+
+    if (const char *die = std::getenv("JETTY_WORKER_DIE_AFTER");
+        die && *die) {
+        char *end = nullptr;
+        const unsigned long long after = std::strtoull(die, &end, 10);
+        if (end == die || *end != '\0' || after == 0)
+            fatal(std::string("JETTY_WORKER_DIE_AFTER needs a positive "
+                              "request count, got '") + die + "'");
+        wopts.faultHook = [after](std::uint64_t received) -> bool {
+            if (received >= after) {
+                // A hard mid-shard crash as the coordinator sees one:
+                // shard_started is on the wire, the response never
+                // comes, both pipe ends drop.
+                _exit(17);
+            }
+            return false;
+        };
+    }
+
+    return dist::runWorkerLoop(0, 1, wopts);
+}
+
 int
 cmdSubmit(const std::string &specPath,
           const std::map<std::string, std::string> &opts)
@@ -1231,10 +1529,26 @@ cmdSubmit(const std::string &specPath,
     const std::string socket =
         opts.count("socket") ? opts.at("socket") : std::string("jetty.sock");
 
+    service::ClientOptions copts;
+    if (opts.count("timeout")) {
+        const double v = std::atof(opts.at("timeout").c_str());
+        if (!std::isfinite(v) || v <= 0)
+            fatal("--timeout needs a finite number of seconds > 0, "
+                  "got '" + opts.at("timeout") + "'");
+        copts.timeoutSeconds = v;
+    }
+    if (opts.count("retries")) {
+        unsigned v = 0;
+        if (!parseUnsigned(opts.at("retries"), v))
+            fatal("--retries needs a non-negative count, got '" +
+                  opts.at("retries") + "'");
+        copts.retries = v;
+    }
+
     if (opts.count("shutdown")) {
         json::Value resp;
         std::string err = service::requestResponse(
-            socket, service::makeRequest("shutdown"), resp);
+            socket, service::makeRequest("shutdown"), resp, copts);
         if (!err.empty())
             fatal(err);
         std::printf("submit: server stopping\n");
@@ -1243,12 +1557,12 @@ cmdSubmit(const std::string &specPath,
 
     if (specPath.empty())
         fatal("submit needs a spec file: jetty_cli submit SPEC.json "
-              "[--socket PATH] [--json FILE]");
+              "[--socket PATH] [--json FILE] [--timeout S] [--retries N]");
     api::ExperimentSpec spec = api::ExperimentSpec::load(specPath);
 
     json::Value resp;
     std::string err = service::requestResponse(
-        socket, service::makeRunRequest(spec.toJson()), resp);
+        socket, service::makeRunRequest(spec.toJson()), resp, copts);
     if (!err.empty())
         fatal(err);
 
@@ -1293,8 +1607,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: jetty_cli run|sweep|apps|filters|"
-                             "capture|trace|replay|serve|submit|bench|fuzz "
-                             "[options]\n"
+                             "capture|trace|replay|serve|submit|worker|"
+                             "bench|fuzz [options]\n"
                              "       (run/sweep/replay/bench/fuzz accept "
                              "--spec FILE / --dump-spec / --json FILE;\n"
                              "        submit takes a positional SPEC.json)\n");
@@ -1324,6 +1638,8 @@ main(int argc, char **argv)
         return cmdReplay(opts);
     if (cmd == "serve")
         return cmdServe(opts);
+    if (cmd == "worker")
+        return cmdWorker(opts);
     if (cmd == "bench")
         return cmdBench(opts);
     if (cmd == "fuzz")

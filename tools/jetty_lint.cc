@@ -31,15 +31,19 @@
  *                   wrappers). The service executor's contract is that
  *                   failures come back as strings, never as a dead
  *                   process.
- *   serialization   The X-macro field lists in run_result_json.cc must
- *                   losslessly cover every scalar counter of the stats
- *                   structs they serialize (ProcStats, L2Traffic,
- *                   FilterStats, FilterEnergyCosts, BusStats), and every
- *                   member of SimStats/AppRunResult must be referenced by
- *                   the serializer. A new counter that skips the list
+ *   serialization   The X-macro field lists in run_result_json.cc and
+ *                   the shard envelope lists in dist/shard.cc must
+ *                   losslessly cover every scalar member of the structs
+ *                   they serialize (ProcStats, L2Traffic, FilterStats,
+ *                   FilterEnergyCosts, BusStats, ShardRequest,
+ *                   ShardResponse), and every member of the
+ *                   hand-serialized structs (SimStats, AppRunResult,
+ *                   plus the shard envelopes) must be referenced by its
+ *                   serializer TU. A new counter that skips the list
  *                   silently corrupts the disk cache's bit-identity
- *                   guarantee; this rule turns that into a build break
- *                   naming the missing field.
+ *                   guarantee — and a shard field that skips its list
+ *                   silently diverges coordinator and worker; this rule
+ *                   turns both into a build break naming the field.
  *   escape          Meta-rule: malformed or stale escape comments.
  *
  * Escape hatch: a finding is suppressed by
@@ -661,6 +665,7 @@ parseStruct(const std::vector<Token> &t, const std::string &name,
         "uint64_t", "uint32_t", "int64_t", "int32_t", "uint8_t",
         "int8_t",   "size_t",   "double",  "float",   "bool",
         "int",      "unsigned", "long",    "short",   "char",
+        "string",
     };
     for (std::size_t i = 0; i + 2 < t.size(); ++i) {
         if (t[i].kind != TokKind::Ident ||
@@ -769,8 +774,11 @@ parseStruct(const std::vector<Token> &t, const std::string &name,
     return false;
 }
 
-/** Extract `X(field)` entries from `#define <macro>(X)` continuation
- *  blocks in raw text (the X-macro field lists of run_result_json.cc). */
+/** Extract `X(field)` / `X(field, kind)` entries from
+ *  `#define <macro>(X)` continuation blocks in raw text (the X-macro
+ *  field lists of run_result_json.cc and dist/shard.cc — the shard
+ *  envelope lists carry a second reader-kind argument; only the field
+ *  name participates in the completeness contract). */
 bool
 parseMacroList(const std::string &src, const std::string &macro,
                MacroList &out)
@@ -820,7 +828,9 @@ parseMacroList(const std::string &src, const std::string &macro,
                     std::string ident;
                     while (j < body.size() && isIdentChar(body[j]))
                         ident += body[j++];
-                    if (j < body.size() && body[j] == ')' && !ident.empty())
+                    if (j < body.size() &&
+                        (body[j] == ')' || body[j] == ',') &&
+                        !ident.empty())
                         out.entries.push_back({ident, bl, true});
                     i = j;
                 }
@@ -896,25 +906,41 @@ struct SerializationPair
 {
     const char *macro;   //!< X-macro list name in the serializer
     const char *strct;   //!< struct whose scalar members it must cover
+    const char *file;    //!< serializer TU basename the list lives in
 };
 
-/** The lossless-serialization contract: each X-macro list in
- *  run_result_json.cc covers every scalar counter of its struct. */
+/** The lossless-serialization contract: each X-macro list covers every
+ *  scalar member of its struct. The disk-cache lists live in
+ *  run_result_json.cc; the distributed shard envelope lists live in
+ *  dist/shard.cc (two-arg entries — name plus reader kind). */
 constexpr SerializationPair kPairs[] = {
-    {"JETTY_PROC_STAT_FIELDS", "ProcStats"},
-    {"JETTY_L2_TRAFFIC_FIELDS", "L2Traffic"},
-    {"JETTY_FILTER_STAT_FIELDS", "FilterStats"},
-    {"JETTY_FILTER_COST_FIELDS", "FilterEnergyCosts"},
-    {"JETTY_BUS_STAT_FIELDS", "BusStats"},
+    {"JETTY_PROC_STAT_FIELDS", "ProcStats", "run_result_json.cc"},
+    {"JETTY_L2_TRAFFIC_FIELDS", "L2Traffic", "run_result_json.cc"},
+    {"JETTY_FILTER_STAT_FIELDS", "FilterStats", "run_result_json.cc"},
+    {"JETTY_FILTER_COST_FIELDS", "FilterEnergyCosts",
+     "run_result_json.cc"},
+    {"JETTY_BUS_STAT_FIELDS", "BusStats", "run_result_json.cc"},
+    {"JETTY_SHARD_REQUEST_FIELDS", "ShardRequest", "shard.cc"},
+    {"JETTY_SHARD_RESPONSE_FIELDS", "ShardResponse", "shard.cc"},
 };
 
-/** Structs whose members must at least be *referenced* by the
- *  serializer (they are serialized with hand-written code, not X
- *  macros, so completeness is checked by member-name reference). */
-constexpr const char *kReferencedStructs[] = {"SimStats", "AppRunResult"};
+struct ReferencedStruct
+{
+    const char *strct;  //!< struct serialized by hand-written code
+    const char *file;   //!< serializer TU basename that must name
+                        //!< every member
+};
 
-/** The serializer translation unit the lists live in. */
-constexpr const char *kSerializerFile = "run_result_json.cc";
+/** Structs whose members must at least be *referenced* by their
+ *  serializer TU (hand-written code, not X macros, serializes the
+ *  non-scalar parts, so completeness is checked by member-name
+ *  reference). */
+constexpr ReferencedStruct kReferencedStructs[] = {
+    {"SimStats", "run_result_json.cc"},
+    {"AppRunResult", "run_result_json.cc"},
+    {"ShardRequest", "shard.cc"},
+    {"ShardResponse", "shard.cc"},
+};
 
 struct ScannedFile
 {
@@ -927,17 +953,21 @@ void
 checkSerialization(const std::vector<ScannedFile> &files,
                    std::vector<Finding> &findings)
 {
-    // Locate the serializer TU (if the tree has one).
-    const ScannedFile *serializer = nullptr;
-    for (const auto &f : files) {
-        const std::size_t slash = f.rel.find_last_of('/');
-        const std::string base =
-            slash == std::string::npos ? f.rel : f.rel.substr(slash + 1);
-        if (base == kSerializerFile) {
-            serializer = &f;
-            break;
+    // Locate a serializer TU by basename (if the tree has one).
+    const auto findByBase = [&files](const char *base) {
+        const ScannedFile *hit = nullptr;
+        for (const auto &f : files) {
+            const std::size_t slash = f.rel.find_last_of('/');
+            const std::string b = slash == std::string::npos
+                                      ? f.rel
+                                      : f.rel.substr(slash + 1);
+            if (b == base) {
+                hit = &f;
+                break;
+            }
         }
-    }
+        return hit;
+    };
 
     for (const auto &pair : kPairs) {
         // Find the struct definition anywhere in the scanned tree.
@@ -976,7 +1006,7 @@ checkSerialization(const std::vector<ScannedFile> &files,
                 {def.file, def.line, "serialization",
                  std::string("struct ") + pair.strct +
                      " has no " + pair.macro + " X-macro list in " +
-                     kSerializerFile +
+                     pair.file +
                      "; its counters would not survive the disk cache"});
             continue;
         }
@@ -1017,30 +1047,32 @@ checkSerialization(const std::vector<ScannedFile> &files,
         }
     }
 
-    // Reference completeness for the hand-serialized structs.
-    if (serializer) {
+    // Reference completeness for the hand-serialized structs: every
+    // member must at least be named in that struct's serializer TU.
+    for (const auto &rs : kReferencedStructs) {
+        const ScannedFile *serializer = findByBase(rs.file);
+        if (!serializer)
+            continue;
         std::set<std::string> serializer_idents;
         for (const auto &tok : serializer->lexed.toks)
             if (tok.kind == TokKind::Ident)
                 serializer_idents.insert(tok.text);
-        for (const char *name : kReferencedStructs) {
-            StructDef def;
-            for (const auto &f : files) {
-                if (parseStruct(f.lexed.toks, name, def)) {
-                    def.file = f.rel;
-                    break;
-                }
+        StructDef def;
+        for (const auto &f : files) {
+            if (parseStruct(f.lexed.toks, rs.strct, def)) {
+                def.file = f.rel;
+                break;
             }
-            if (!def.found)
-                continue;
-            for (const auto &m : def.members) {
-                if (serializer_idents.count(m.name) == 0)
-                    findings.push_back(
-                        {def.file, m.line, "serialization",
-                         std::string(name) + "::" + m.name +
-                             " is never referenced in " + kSerializerFile +
-                             "; the disk-cache round trip would drop it"});
-            }
+        }
+        if (!def.found)
+            continue;
+        for (const auto &m : def.members) {
+            if (serializer_idents.count(m.name) == 0)
+                findings.push_back(
+                    {def.file, m.line, "serialization",
+                     std::string(rs.strct) + "::" + m.name +
+                         " is never referenced in " + rs.file +
+                         "; the serialized round trip would drop it"});
         }
     }
 }
